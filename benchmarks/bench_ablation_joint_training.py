@@ -1,0 +1,126 @@
+"""Ablation: joint VAE+K-means training vs. sequential VAE then K-means.
+
+§3.2 claims that integrating the K-means loss into VAE training ("jointly
+train cluster label assignment and learning of suitable features") beats
+clustering a latent space trained for reconstruction alone.  This bench
+trains both variants on the same data and compares latent-space clustering
+quality (SSE) and end-to-end placement flips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_table, run_once
+
+from repro.ml.joint import JointVAEKMeans
+from repro.ml.kmeans import KMeans
+from repro.workloads.datasets import make_image_dataset
+
+INPUT_BITS = 512
+N_TRAIN = 400
+N_TEST = 150
+K = 12
+
+
+def placement_flips(train_bits, test_bits, predict_fn) -> float:
+    labels = predict_fn(train_bits)
+    pools: dict[int, list[int]] = {}
+    for idx, label in enumerate(labels):
+        pools.setdefault(int(label), []).append(idx)
+    fallback = max(pools, key=lambda c: len(pools[c]))
+    cursor: dict[int, int] = {}
+    total = 0.0
+    for row in test_bits:
+        cluster = int(predict_fn(row[None, :])[0])
+        if cluster not in pools:
+            cluster = fallback
+        pool = pools[cluster]
+        pick = pool[cursor.get(cluster, 0) % len(pool)]
+        cursor[cluster] = cursor.get(cluster, 0) + 1
+        total += float(np.abs(train_bits[pick] - row).sum())
+    return total / len(test_bits)
+
+
+def normalized_sse(model, X) -> float:
+    """SSE divided by the latent total sum of squares (scale-invariant:
+    raw SSE is not comparable across differently-scaled latent spaces)."""
+    Z = model.transform(X)
+    total = float(((Z - Z.mean(axis=0)) ** 2).sum())
+    return model.sse(X) / max(total, 1e-12)
+
+
+def purity(pred, truth, k) -> float:
+    total = 0
+    for c in range(k):
+        mask = pred == c
+        if mask.any():
+            total += np.bincount(truth[mask]).max()
+    return total / len(truth)
+
+
+def run_ablation(seed: int = 0) -> list[list]:
+    bits, labels = make_image_dataset(
+        N_TRAIN + N_TEST, INPUT_BITS, n_classes=12, noise=0.1, seed=seed
+    )
+    train, test = bits[:N_TRAIN], bits[N_TRAIN:]
+    truth = labels[:N_TRAIN]
+    rows = []
+
+    # Joint training (the paper's design).
+    joint = JointVAEKMeans(
+        INPUT_BITS, K, latent_dim=8, hidden=(64,),
+        pretrain_epochs=8, joint_epochs=4, lr=3e-3, gamma=0.5, seed=seed,
+    ).fit(train)
+    rows.append(
+        [
+            "joint (paper)",
+            normalized_sse(joint, train),
+            purity(joint.predict(train), truth, K),
+            placement_flips(train, test, joint.predict),
+        ]
+    )
+
+    # Sequential: same VAE budget, zero joint epochs, K-means afterwards.
+    sequential = JointVAEKMeans(
+        INPUT_BITS, K, latent_dim=8, hidden=(64,),
+        pretrain_epochs=12, joint_epochs=0, lr=3e-3, seed=seed,
+    )
+    sequential.vae.fit(
+        train, epochs=sequential.pretrain_epochs,
+        batch_size=sequential.batch_size, lr=sequential.lr,
+    )
+    sequential.kmeans = KMeans(K, seed=seed).fit(sequential.vae.transform(train))
+    rows.append(
+        [
+            "sequential (VAE->KM)",
+            normalized_sse(sequential, train),
+            purity(sequential.predict(train), truth, K),
+            placement_flips(train, test, sequential.predict),
+        ]
+    )
+    return rows
+
+
+def report(rows: list[list]) -> None:
+    print_table(
+        "Ablation: joint vs sequential VAE+K-means",
+        ["variant", "normalized SSE", "cluster purity", "placement flips"],
+        rows,
+    )
+
+
+def test_ablation_joint_training(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    report(rows)
+    joint, sequential = rows
+    # The joint clustering loss tightens the latent clusters (relative to
+    # the latent space's own spread).
+    assert joint[1] <= sequential[1] * 1.05
+    # Clustering quality and placement quality do not regress.
+    assert joint[2] >= sequential[2] * 0.95
+    assert joint[3] <= sequential[3] * 1.1
+
+
+if __name__ == "__main__":
+    report(run_ablation())

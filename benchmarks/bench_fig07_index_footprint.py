@@ -1,0 +1,80 @@
+"""Figure 7: DRAM footprint and energy vs. number of indexed segments.
+
+Indexing more memory segments costs more DRAM for the Dynamic Address Pool
+but gives the placer more choices, cutting bit flips and energy; beyond a
+point the energy gain saturates (the paper's 100K–1M sweet spot, scaled
+down here).
+
+The paper runs this on the PubMed DocWord collection (730 M entries); we
+model its content diversity with a 64-mode synthetic content pool — the
+trend only needs *more distinct content modes than a small pool can hold*,
+which tiny uniform DocWord triples scaled to laptop size do not exhibit.
+"""
+
+from __future__ import annotations
+
+from common import (
+    bench_config,
+    print_table,
+    run_once,
+    seeded_engine,
+    values_from_bits,
+    write_release_stream,
+)
+
+from repro.workloads.datasets import make_image_dataset
+
+SEGMENT = 32
+SEGMENT_COUNTS = [64, 256, 1024, 4096]
+N_WRITES = 400
+N_CONTENT_MODES = 64
+
+
+def run_figure7(seed: int = 0) -> list[list]:
+    stream_bits, _ = make_image_dataset(
+        N_WRITES, SEGMENT * 8, n_classes=N_CONTENT_MODES, noise=0.05, seed=seed + 1
+    )
+    stream = values_from_bits(stream_bits)
+    rows = []
+    for n_segments in SEGMENT_COUNTS:
+        pool_bits, _ = make_image_dataset(
+            n_segments, SEGMENT * 8, n_classes=N_CONTENT_MODES, noise=0.05,
+            seed=seed + 1,
+        )
+        engine = seeded_engine(
+            values_from_bits(pool_bits),
+            SEGMENT,
+            config=bench_config(n_clusters=12, seed=seed),
+        )
+        result = write_release_stream(engine, stream)
+        rows.append(
+            [
+                n_segments,
+                engine.memory_footprint_bytes() / 1024.0,  # KiB of DRAM
+                result["bits_per_write"],
+                result["energy_pj_per_write"] / 1000.0,  # nJ
+            ]
+        )
+    return rows
+
+
+def report(rows: list[list]) -> None:
+    print_table(
+        "Figure 7: DAP footprint and write energy vs indexed segments",
+        ["segments", "dap_KiB", "bits/write", "energy_nJ/write"],
+        rows,
+    )
+
+
+def test_fig07_index_footprint(benchmark):
+    rows = run_once(benchmark, run_figure7)
+    report(rows)
+    footprints = [r[1] for r in rows]
+    assert footprints == sorted(footprints), "DRAM grows with segments"
+    # More segments -> more placement choices -> fewer flips and energy.
+    assert rows[-1][2] < rows[0][2] * 0.9
+    assert rows[-1][3] < rows[0][3]
+
+
+if __name__ == "__main__":
+    report(run_figure7())

@@ -1,0 +1,116 @@
+"""Figure 8: SSE elbow and the energy "valley" when sweeping K.
+
+Sweeping the cluster count on CIFAR-like content: SSE falls with K and the
+elbow marks the bend; total system energy forms a valley because NVM write
+energy falls with K while the *K-dependent* model energy (K-means training
+refreshes amortised over the retrain interval, plus per-write centroid
+comparisons) rises with K.
+
+Deployment-scale constants are declared below: the model side is costed as
+if serving ``DEPLOYMENT_SEGMENTS`` segments (the measured pool) with one retrain every
+``RETRAIN_INTERVAL_WRITES`` writes (the amortisation regime the paper's
+testbed operates in); the K-independent VAE training cost is reported
+separately since it does not shape the valley.
+"""
+
+from __future__ import annotations
+
+from common import (
+    bench_config,
+    print_table,
+    run_once,
+    seeded_engine,
+    values_from_bits,
+    write_release_stream,
+)
+
+from repro.ml.metrics import elbow_k
+from repro.profiling import ComputeCostModel
+from repro.workloads.datasets import make_image_dataset
+
+SEGMENT = 64
+N_SEGMENTS = 256
+N_WRITES = 300
+KS = [2, 4, 6, 8, 12, 16, 24]
+N_CLASSES = 16  # the planted content structure the elbow should find
+
+DEPLOYMENT_SEGMENTS = N_SEGMENTS
+RETRAIN_INTERVAL_WRITES = 90_000
+KMEANS_ITERS = 20
+KMEANS_REFRESHES = 3
+LATENT = 6
+
+
+DRAM_PJ_PER_BIT = 1.0  # §1: DRAM costs ~1 pJ/b
+
+
+def model_k_energy_nj_per_write(k: int, compute: ComputeCostModel) -> float:
+    """K-dependent model-side energy, amortised per write.
+
+    Training: the K-means refreshes over the pool's latents, amortised over
+    the retrain interval.  Prediction: each write streams K centroids
+    (float64) from DRAM for the nearest-centroid search.
+    """
+    train_flops = (
+        2.0 * DEPLOYMENT_SEGMENTS * k * LATENT * KMEANS_ITERS * KMEANS_REFRESHES
+    )
+    amortised = compute.energy_pj(train_flops) / RETRAIN_INTERVAL_WRITES
+    per_write_predict = k * LATENT * 64 * DRAM_PJ_PER_BIT
+    return (amortised + per_write_predict) / 1000.0
+
+
+def run_figure8(seed: int = 0) -> list[list]:
+    pool_bits, _ = make_image_dataset(
+        N_SEGMENTS, SEGMENT * 8, n_classes=N_CLASSES, noise=0.08, seed=seed
+    )
+    stream_bits, _ = make_image_dataset(
+        N_WRITES, SEGMENT * 8, n_classes=N_CLASSES, noise=0.08, seed=seed
+    )
+    stream = values_from_bits(stream_bits)
+    compute = ComputeCostModel()
+
+    rows = []
+    for k in KS:
+        config = bench_config(n_clusters=k, latent_dim=LATENT, seed=seed)
+        engine = seeded_engine(values_from_bits(pool_bits), SEGMENT, config=config)
+        sse = engine.pipeline.model.sse(pool_bits)
+        result = write_release_stream(engine, stream)
+        nvm_nj = result["energy_pj_per_write"] / 1000.0
+        model_nj = model_k_energy_nj_per_write(k, compute)
+        rows.append([k, sse, nvm_nj, model_nj, nvm_nj + model_nj])
+    return rows
+
+
+def report(rows: list[list]) -> None:
+    print_table(
+        "Figure 8: SSE elbow vs energy valley over K (per-write nJ)",
+        ["K", "SSE", "nvm_nJ/w", "modelK_nJ/w", "total_nJ/w"],
+        rows,
+    )
+    ks = [r[0] for r in rows]
+    sses = [r[1] for r in rows]
+    best = min(rows, key=lambda r: r[4])
+    print(f"elbow K = {elbow_k(ks, sses)}; energy-valley K = {best[0]}")
+
+
+def test_fig08_elbow(benchmark):
+    rows = run_once(benchmark, run_figure8)
+    report(rows)
+    ks = [r[0] for r in rows]
+    sses = [r[1] for r in rows]
+    assert sses[-1] < sses[0], "SSE falls with K"
+    # NVM energy falls with K; the K-dependent model energy rises.
+    assert rows[-1][2] <= rows[0][2]
+    assert rows[-1][3] > rows[0][3]
+    # The valley: the total is lower somewhere in the middle than at both
+    # extremes.
+    totals = [r[4] for r in rows]
+    assert min(totals[1:-1]) < totals[0]
+    assert min(totals[1:-1]) < totals[-1]
+    # The elbow lands near the planted class count.
+    knee = elbow_k(ks, sses)
+    assert 4 <= knee <= 16
+
+
+if __name__ == "__main__":
+    report(run_figure8())

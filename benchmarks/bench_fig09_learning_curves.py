@@ -1,0 +1,70 @@
+"""Figure 9: VAE training and validation loss curves per dataset.
+
+The paper shows the model converging quickly on each dataset's memory
+contents with the validation loss tracking the training loss (no
+overfitting) — evidence the VAE "generalises" the bit patterns.
+"""
+
+from __future__ import annotations
+
+from common import print_table, run_once
+
+from repro.ml.vae import VAE
+from repro.workloads.datasets import cifar_like, fashion_mnist_like, mnist_like
+from repro.workloads.records import amazon_access_like, records_to_bits
+
+EPOCHS = 12
+
+
+def datasets() -> dict:
+    return {
+        "mnist-like": mnist_like(600)[0],
+        "fashion-like": fashion_mnist_like(600)[0],
+        "cifar-like": cifar_like(600)[0],
+        "amazon-like": records_to_bits(amazon_access_like(600, seed=4)),
+    }
+
+
+def run_figure9(seed: int = 0) -> dict:
+    curves = {}
+    for name, bits in datasets().items():
+        vae = VAE(
+            bits.shape[1], latent_dim=8, hidden=(64,), seed=seed
+        )
+        history = vae.fit(bits, epochs=EPOCHS, batch_size=64, lr=3e-3)
+        curves[name] = history
+    return curves
+
+
+def report(curves: dict) -> None:
+    for name, history in curves.items():
+        rows = [
+            [epoch + 1, tr, va]
+            for epoch, (tr, va) in enumerate(
+                zip(history["train_loss"], history["val_loss"])
+            )
+        ]
+        print_table(
+            f"Figure 9 ({name}): loss per epoch",
+            ["epoch", "train_loss", "val_loss"],
+            rows,
+        )
+
+
+def test_fig09_learning_curves(benchmark):
+    curves = run_once(benchmark, run_figure9)
+    report(curves)
+    for name, history in curves.items():
+        train = history["train_loss"]
+        val = history["val_loss"]
+        # The model learns: a large early drop...
+        assert train[-1] < train[0] * 0.9, name
+        # ...and most of it happens fast (convergence by mid-training).
+        assert train[len(train) // 2] < train[0], name
+        # Validation tracks training (generalisation, no divergence).
+        assert val[-1] < val[0], name
+        assert val[-1] < train[0], name
+
+
+if __name__ == "__main__":
+    report(run_figure9())

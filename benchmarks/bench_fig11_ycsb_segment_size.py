@@ -1,0 +1,106 @@
+"""Figure 11: energy per cache-line access for YCSB vs. segment size and k.
+
+The paper runs YCSB A–F over a real Optane KV store and reports the average
+energy per PMem cache-line access while varying the memory segment size and
+the cluster count: smaller segments and more clusters both cut energy
+(higher prediction accuracy, fewer flips per line).
+"""
+
+from __future__ import annotations
+
+from common import bench_config, print_table, run_once
+
+from repro.core import E2NVM, KVStore
+from repro.nvm import MemoryController, NVMDevice
+from repro.workloads.ycsb import WORKLOADS, YCSBWorkload
+
+SEGMENT_SIZES = [64, 128, 256]
+K_VALUES = [5, 15]
+RECORDS = 120
+OPERATIONS = 250
+WORKLOAD_NAMES = ["A", "B", "D", "F"]  # the write-bearing workloads
+
+
+def run_workload(name: str, segment: int, k: int, seed: int) -> float:
+    n_segments = max(256, RECORDS * 3)
+    device = NVMDevice(
+        capacity_bytes=n_segments * segment,
+        segment_size=segment,
+        initial_fill="random",
+        seed=seed,
+    )
+    controller = MemoryController(device)
+    engine = E2NVM(
+        controller,
+        bench_config(n_clusters=k, seed=seed, train_sample_limit=512),
+    )
+    store = KVStore(engine)
+    workload = YCSBWorkload(
+        WORKLOADS[name],
+        record_count=RECORDS,
+        operation_count=OPERATIONS,
+        value_size=segment - 8,
+        seed=seed,
+    )
+    # Load phase (the 10 GB "old data" of §5.2.1, scaled down).
+    records = dict(workload.load_phase())
+    engine.train()
+    for key, value in records.items():
+        store.put(key, value)
+    device.reset_stats()
+    # Run phase.
+    for op in workload.operations():
+        if op[0] == "read":
+            store.get(op[1])
+        elif op[0] in ("update", "insert", "rmw"):
+            if op[0] == "rmw":
+                store.get(op[1])
+            store.put(op[1], op[2])
+        elif op[0] == "scan":
+            store.scan(op[1], op[1] + b"\xff")
+    stats = device.stats
+    lines = max(1, stats.dirty_lines_written)
+    # Cell-programming energy per dirty cache line: the component that
+    # placement accuracy controls (command overheads amortise trivially
+    # with segment size and would mask the effect).
+    programming_pj = stats.bits_programmed * device.energy_model.flip_energy_pj
+    return programming_pj / lines / 1000.0  # nJ per dirty line
+
+
+def run_figure11(seed: int = 0) -> list[list]:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        for segment in SEGMENT_SIZES:
+            row = [name, segment]
+            for k in K_VALUES:
+                row.append(run_workload(name, segment, k, seed))
+            rows.append(row)
+    return rows
+
+
+def report(rows: list[list]) -> None:
+    print_table(
+        "Figure 11: YCSB programming energy per written cache line (nJ)",
+        ["workload", "segment_B"] + [f"k={k}" for k in K_VALUES],
+        rows,
+    )
+
+
+def test_fig11_ycsb_segment_size(benchmark):
+    rows = run_once(benchmark, run_figure11)
+    report(rows)
+    by_workload: dict = {}
+    for name, segment, *energies in rows:
+        by_workload.setdefault(name, []).append((segment, energies))
+    for name, entries in by_workload.items():
+        entries.sort()
+        # Smaller segments cost less programming energy per line.
+        assert entries[0][1][-1] <= entries[-1][1][-1] * 1.1, name
+        # More clusters never hurt much (within noise) on write-heavy mixes.
+        if name in ("A", "F"):
+            small_seg = entries[0][1]
+            assert small_seg[1] <= small_seg[0] * 1.15, name
+
+
+if __name__ == "__main__":
+    report(run_figure11())

@@ -1,0 +1,92 @@
+"""Figure 13: updated-bit ratio and energy vs. (segment size, pool size).
+
+Over a mixture of all the real-like workloads, the paper observes that
+energy and the updated-bits ratio grow with the ratio of segment size to
+pool size: more (smaller) segments per pool mean more placement choices,
+hence fewer flips per written bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import bench_config, print_table, run_once, seeded_engine, write_release_stream
+
+from repro.workloads.datasets import make_image_dataset
+from repro.workloads.records import amazon_access_like
+from repro.workloads.video import SyntheticVideo
+
+SEGMENT_SIZES = [32, 64, 128]
+POOL_BYTES = [16 * 1024, 64 * 1024]
+N_WRITES = 300
+
+
+def mixed_values(size: int, count: int, seed: int) -> list[bytes]:
+    """A mixture of the paper's real-workload families, cut to ``size``."""
+    video = SyntheticVideo(width=32, height=32, seed=seed)
+    frames = [f[:size] for f in video.frames(count // 3 + 1)]
+    amazon = amazon_access_like(count // 3 + 1, record_size=size, seed=seed)
+    image_bits, _ = make_image_dataset(
+        count // 3 + 1, size * 8, n_classes=8, noise=0.08, seed=seed
+    )
+    images = [
+        np.packbits(row.astype(np.uint8)).tobytes() for row in image_bits
+    ]
+    mixture = []
+    for triple in zip(frames, amazon, images):
+        mixture.extend(triple)
+    return mixture[:count]
+
+
+def run_figure13(seed: int = 0) -> list[list]:
+    rows = []
+    for pool_bytes in POOL_BYTES:
+        for segment in SEGMENT_SIZES:
+            n_segments = pool_bytes // segment
+            both = mixed_values(segment, n_segments + N_WRITES, seed)
+            seed_values, stream = both[:n_segments], both[n_segments:]
+            engine = seeded_engine(
+                seed_values,
+                segment,
+                config=bench_config(n_clusters=8, seed=seed),
+            )
+            result = write_release_stream(engine, stream)
+            ratio = result["bits_per_write"] / (segment * 8)
+            rows.append(
+                [
+                    pool_bytes // 1024,
+                    segment,
+                    segment / pool_bytes,
+                    ratio,
+                    result["energy_pj_per_write"] / 1000.0,
+                ]
+            )
+    return rows
+
+
+def report(rows: list[list]) -> None:
+    print_table(
+        "Figure 13: updated-bit ratio & energy vs segment/pool sizes",
+        ["pool_KiB", "segment_B", "seg/pool", "updated_ratio", "energy_nJ/write"],
+        rows,
+    )
+
+
+def test_fig13_pool_segment_grid(benchmark):
+    rows = run_once(benchmark, run_figure13)
+    report(rows)
+    # Within each pool size, smaller segments give a lower updated ratio.
+    for pool_kib in sorted({r[0] for r in rows}):
+        group = sorted(r for r in rows if r[0] == pool_kib)
+        ratios = [r[3] for r in sorted(group, key=lambda r: r[1])]
+        assert ratios[0] <= ratios[-1] * 1.05, f"pool={pool_kib}KiB"
+    # For the same segment size, the bigger pool is at least as good.
+    for segment in SEGMENT_SIZES:
+        group = sorted(
+            (r for r in rows if r[1] == segment), key=lambda r: r[0]
+        )
+        assert group[-1][3] <= group[0][3] * 1.1, f"segment={segment}"
+
+
+if __name__ == "__main__":
+    report(run_figure13())

@@ -1,0 +1,69 @@
+"""Figure 18: retraining latency and energy per epoch vs. segment count.
+
+More memory segments mean more training samples per epoch, so per-epoch
+retraining time and energy grow — the number that sets the retrain load
+factor (§5.3: trigger retraining early enough that the new model is ready
+before the old one starves).
+
+Wall-clock per epoch is measured on the real NumPy training loop; energy
+uses the FLOP-based compute model.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import print_table, run_once
+
+from repro.ml.vae import VAE
+from repro.profiling import ComputeCostModel
+from repro.workloads.datasets import make_image_dataset
+
+INPUT_BITS = 1024
+SEGMENT_COUNTS = [128, 512, 2048, 8192]
+EPOCHS = 3
+
+
+def run_figure18(seed: int = 0) -> list[list]:
+    compute = ComputeCostModel()
+    rows = []
+    for n_segments in SEGMENT_COUNTS:
+        bits, _ = make_image_dataset(
+            n_segments, INPUT_BITS, n_classes=16, noise=0.08, seed=seed
+        )
+        vae = VAE(INPUT_BITS, latent_dim=8, hidden=(64,), seed=seed)
+        t0 = time.perf_counter()
+        vae.fit(bits, epochs=EPOCHS, batch_size=64, val_fraction=0.0)
+        wall_per_epoch = (time.perf_counter() - t0) / EPOCHS
+        flops_per_epoch = compute.vae_training_flops(
+            INPUT_BITS, (64,), 8, n_segments, 1
+        )
+        energy_mj = compute.energy_pj(flops_per_epoch) / 1e9
+        rows.append([n_segments, wall_per_epoch, energy_mj])
+    return rows
+
+
+def report(rows: list[list]) -> None:
+    print_table(
+        "Figure 18: per-epoch retraining cost vs segment count",
+        ["segments", "wall_s/epoch", "energy_mJ/epoch"],
+        rows,
+    )
+
+
+def test_fig18_training_cost(benchmark):
+    rows = run_once(benchmark, run_figure18)
+    report(rows)
+    walls = [r[1] for r in rows]
+    energies = [r[2] for r in rows]
+    # Both latency and energy grow with the number of segments...
+    assert walls[-1] > walls[0]
+    assert energies == sorted(energies)
+    # ...roughly linearly (within a factor of ~4 of proportional).
+    ratio = walls[-1] / walls[0]
+    expected = SEGMENT_COUNTS[-1] / SEGMENT_COUNTS[0]
+    assert expected / 4 <= ratio <= expected * 4
+
+
+if __name__ == "__main__":
+    report(run_figure18())

@@ -1,0 +1,117 @@
+"""Figure 19: wear-leveling CDFs under E2-NVM (k=30).
+
+Protocol (§5.3): warm the data zone with a MNIST+Fashion mixture, stream
+~4 updates per word with interleaved deletes, then plot (a) the CDF of the
+maximum number of times each address was written and (b) the CDF of per-bit
+programming counts.  The paper reads off P(address written <= 10) ~ 81% and
+P(bit programmed <= 7) ~ 98% — i.e. E2-NVM spreads both writes and flips
+across the zone instead of concentrating them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import bench_config, print_table, run_once, values_from_bits
+
+from repro.core import E2NVM
+from repro.nvm import MemoryController, NVMDevice
+from repro.workloads.datasets import fashion_mnist_like, mnist_like
+
+SEGMENT = 64
+N_SEGMENTS = 256
+N_WRITES = 1024  # = 4 updates per segment on average
+K = 30
+
+
+def run_figure19(seed: int = 0):
+    width = SEGMENT * 8
+    mnist = values_from_bits(mnist_like(N_SEGMENTS + N_WRITES, n_pixels=width, seed=seed)[0])
+    fashion = values_from_bits(
+        fashion_mnist_like(N_SEGMENTS + N_WRITES, n_pixels=width, seed=seed + 1)[0]
+    )
+    rng = np.random.default_rng(seed)
+    mixture = [
+        (mnist if rng.random() < 0.5 else fashion)[i]
+        for i in range(N_SEGMENTS + N_WRITES)
+    ]
+    seed_values, stream = mixture[:N_SEGMENTS], mixture[N_SEGMENTS:]
+
+    device = NVMDevice(
+        capacity_bytes=N_SEGMENTS * SEGMENT,
+        segment_size=SEGMENT,
+        initial_fill="zero",
+        track_bit_wear=True,
+    )
+    controller = MemoryController(device)
+    for i, value in enumerate(seed_values):
+        controller.write(i * SEGMENT, value)
+    device.reset_stats()
+    device.segment_write_count[:] = 0
+    device.bit_wear[:] = 0
+
+    engine = E2NVM(controller, bench_config(n_clusters=K, seed=seed))
+    engine.train()
+    live: list[int] = []
+    for value in stream:
+        addr, _ = engine.write(value)
+        live.append(addr)
+        # Deletes make space, as in the paper's protocol.
+        if len(live) > N_SEGMENTS // 4:
+            engine.release(live.pop(0))
+    return (
+        device.segment_write_count.copy(),
+        device.bit_wear.copy(),
+    )
+
+
+def cdf_points(values: np.ndarray, thresholds) -> list[tuple[int, float]]:
+    values = np.asarray(values)
+    return [
+        (t, float((values <= t).mean())) for t in thresholds
+    ]
+
+
+def report(result) -> None:
+    seg_writes, bit_wear = result
+    rows = [
+        [t, p]
+        for t, p in cdf_points(seg_writes, [1, 2, 5, 10, 15, 20, 30])
+    ]
+    print_table(
+        "Figure 19a: CDF of per-address write counts",
+        ["writes<=", "P"],
+        rows,
+    )
+    rows = [
+        [t, p] for t, p in cdf_points(bit_wear, [0, 1, 2, 3, 5, 7, 10])
+    ]
+    print_table(
+        "Figure 19b: CDF of per-bit programming counts",
+        ["programs<=", "P"],
+        rows,
+    )
+    print(
+        f"max address writes = {int(seg_writes.max())}, "
+        f"max bit programs = {int(bit_wear.max())}"
+    )
+
+
+def test_fig19_wear_cdf(benchmark):
+    seg_writes, bit_wear = run_once(benchmark, run_figure19)
+    report((seg_writes, bit_wear))
+    # Writes are spread: no address absorbs a disproportionate share.
+    mean_writes = seg_writes.mean()
+    assert seg_writes.max() <= mean_writes * 8
+    # Most addresses sit near the mean (the paper's P(X<=10)=81% analogue:
+    # 4 updates/word average -> the bulk is under ~2.5x the mean).
+    assert (seg_writes <= 2.5 * mean_writes).mean() >= 0.75
+    # Bit programming is spread thinner than address writes: a cell is
+    # pulsed on only a fraction of its segment's writes (DCW programs only
+    # differing cells).
+    assert bit_wear.mean() < seg_writes.mean()
+    assert (bit_wear <= 7).mean() >= 0.85
+
+
+if __name__ == "__main__":
+    report(run_figure19())

@@ -1,0 +1,88 @@
+"""Run every figure/ablation benchmark and print all tables.
+
+Usage:  python benchmarks/run_all.py [--quick] [--csv DIR]
+
+``--quick`` skips the slowest sweeps (Figures 11, 14, 15) for a fast pass;
+``--csv DIR`` additionally dumps each benchmark's raw rows as CSV files for
+downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import importlib
+import pathlib
+import sys
+import time
+
+
+def dump_csv(directory: pathlib.Path, name: str, result) -> None:
+    """Serialise a benchmark result (rows / dict-of-rows) to CSV files."""
+    def write_rows(path: pathlib.Path, rows) -> None:
+        with path.open("w", newline="") as handle:
+            csv.writer(handle).writerows(rows)
+
+    if isinstance(result, list) and result and isinstance(result[0], list):
+        write_rows(directory / f"{name}.csv", result)
+    elif isinstance(result, dict):
+        for key, value in result.items():
+            slug = str(key).replace("/", "_").replace(" ", "_")
+            if isinstance(value, list) and value and isinstance(value[0], list):
+                write_rows(directory / f"{name}.{slug}.csv", value)
+            elif isinstance(value, dict):  # e.g. loss-curve dicts
+                series = list(value.values())
+                header = list(value.keys())
+                rows = [header] + list(map(list, zip(*series)))
+                write_rows(directory / f"{name}.{slug}.csv", rows)
+
+BENCHES = [
+    ("bench_fig01_hamming_energy", "run_figure1", False),
+    ("bench_fig02_wear_swap", "run_figure2", False),
+    ("bench_fig04_model_scaling", "run_figure4", False),
+    ("bench_fig07_index_footprint", "run_figure7", False),
+    ("bench_fig08_elbow", "run_figure8", False),
+    ("bench_fig09_learning_curves", "run_figure9", False),
+    ("bench_fig10_baseline_comparison", "run_figure10", False),
+    ("bench_fig11_ycsb_segment_size", "run_figure11", True),
+    ("bench_fig12_index_plugging", "run_figure12", False),
+    ("bench_fig13_pool_segment_grid", "run_figure13", False),
+    ("bench_fig14_padding_strategies", "run_figure14", True),
+    ("bench_fig15_padding_fraction", "run_figure15", True),
+    ("bench_fig16_energy_timeline", "run_figure16", False),
+    ("bench_fig17_adaptability", "run_figure17", False),
+    ("bench_fig18_training_cost", "run_figure18", False),
+    ("bench_fig19_wear_cdf", "run_figure19", False),
+    ("bench_ablation_joint_training", "run_ablation", False),
+    ("bench_ablation_first_fit", "run_ablation", False),
+    ("bench_ablation_placers", "run_ablation", False),
+    ("bench_ablation_batching", "run_ablation", False),
+]
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    csv_dir = None
+    if "--csv" in sys.argv:
+        csv_dir = pathlib.Path(sys.argv[sys.argv.index("--csv") + 1])
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    total_start = time.perf_counter()
+    for module_name, runner_name, slow in BENCHES:
+        if quick and slow:
+            print(f"\n[skipped in --quick mode: {module_name}]")
+            continue
+        module = importlib.import_module(module_name)
+        runner = getattr(module, runner_name)
+        start = time.perf_counter()
+        result = runner()
+        module.report(result)
+        if csv_dir is not None:
+            try:
+                dump_csv(csv_dir, module_name, result)
+            except Exception as exc:  # CSV export must never kill the run
+                print(f"[csv export failed for {module_name}: {exc}]")
+        print(f"[{module_name}: {time.perf_counter() - start:.1f}s]")
+    print(f"\nall benchmarks done in {time.perf_counter() - total_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

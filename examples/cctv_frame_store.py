@@ -1,0 +1,84 @@
+"""Domain example: storing surveillance video frames on NVM.
+
+The paper motivates E2-NVM with low-power PCM deployments — IoT cameras,
+battery-backed edge boxes — where footage is continuously overwritten.
+This example runs a rolling CCTV buffer from four synthetic cameras:
+frames stream in, the oldest are deleted, and E2-NVM keeps placing new
+frames over segments holding visually similar old frames.
+
+Run:  python examples/cctv_frame_store.py
+"""
+
+import numpy as np
+
+from repro import E2NVMConfig, MemoryController, NVMDevice
+from repro.core import E2NVM, KVStore
+from repro.workloads.video import SyntheticVideo
+
+SEGMENT = 256          # one frame tile per segment
+N_SEGMENTS = 256
+FRAMES_PER_CAMERA = 120
+BUFFER_FRAMES = 60     # rolling retention window
+
+
+def main() -> None:
+    cameras = [
+        SyntheticVideo(width=16, height=16, noise=1.5, seed=11 + i)
+        for i in range(4)
+    ]
+    streams = [list(cam.frames(FRAMES_PER_CAMERA)) for cam in cameras]
+
+    device = NVMDevice(
+        capacity_bytes=N_SEGMENTS * SEGMENT,
+        segment_size=SEGMENT,
+        initial_fill="zero",
+    )
+    controller = MemoryController(device)
+    # Warm the zone with the first seconds of footage (the paper seeds the
+    # pool with the first 30 s of the Sherbrooke video).
+    warmup = [stream[i] for i in range(N_SEGMENTS // 4) for stream in streams]
+    for i, frame in enumerate(warmup[:N_SEGMENTS]):
+        controller.write(i * SEGMENT, frame)
+    device.reset_stats()
+
+    engine = E2NVM(
+        controller,
+        E2NVMConfig(n_clusters=4, hidden=(64,), pretrain_epochs=6,
+                    joint_epochs=2, seed=3),
+    )
+    store = KVStore(engine)
+    store.train()
+
+    # Rolling buffer: store new frames, expire old ones.
+    stored: list[bytes] = []
+    flips = []
+    for t in range(N_SEGMENTS // 4, FRAMES_PER_CAMERA):
+        for cam_id, stream in enumerate(streams):
+            key = b"cam%d/frame%05d" % (cam_id, t)
+            before = device.stats.bits_programmed
+            store.put(key, stream[t])
+            flips.append(device.stats.bits_programmed - before)
+            stored.append(key)
+            if len(stored) > BUFFER_FRAMES:
+                store.delete(stored.pop(0))
+
+    frame_bits = SEGMENT * 8
+    print(f"stored {len(flips)} frames of {SEGMENT} bytes from 4 cameras")
+    print(
+        f"avg bits programmed per frame: {np.mean(flips):.0f} "
+        f"({np.mean(flips) / frame_bits:.1%} of frame bits)"
+    )
+    print(
+        f"write energy: {device.stats.energy_per_write_pj / 1000:.1f} nJ/frame; "
+        f"retention window: {BUFFER_FRAMES} frames"
+    )
+    replay = store.scan(b"cam0/", b"cam0/\xff")
+    print(f"scan of camera 0's retained footage -> {len(replay)} frames")
+    print(
+        "a frame overwrite flips only what moved in the scene — "
+        "the same redundancy a video codec exploits, spent on endurance."
+    )
+
+
+if __name__ == "__main__":
+    main()

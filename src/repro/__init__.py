@@ -1,0 +1,42 @@
+"""E2-NVM reproduction: memory-aware NVM write placement with VAE+K-means.
+
+Reproduces *E2-NVM: A Memory-Aware Write Scheme to Improve Energy Efficiency
+and Write Endurance of NVMs using Variational Autoencoders* (EDBT 2023) as a
+pure-Python library over a bit-accurate simulated PCM device.
+
+Quick start::
+
+    from repro import E2NVM, E2NVMConfig, NVMDevice, MemoryController
+
+    device = NVMDevice(capacity_bytes=64 * 1024, segment_size=64,
+                       initial_fill="random", seed=7)
+    controller = MemoryController(device)
+    engine = E2NVM(controller, E2NVMConfig(n_clusters=6))
+    engine.train()
+    addr = engine.place(b"... a 64-byte value ...")
+"""
+
+from repro.core import E2NVM, E2NVMConfig, KVStore
+from repro.nvm import (
+    EnergyModel,
+    LatencyModel,
+    MemoryController,
+    NVMDevice,
+    SegmentSwapWearLeveling,
+    StartGapWearLeveling,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "E2NVM",
+    "E2NVMConfig",
+    "KVStore",
+    "NVMDevice",
+    "MemoryController",
+    "EnergyModel",
+    "LatencyModel",
+    "SegmentSwapWearLeveling",
+    "StartGapWearLeveling",
+    "__version__",
+]

@@ -1,0 +1,78 @@
+"""DATACON — Song et al., ISMM 2020 [48]: data-content-aware placement.
+
+DATACON "reduces the latency and energy of PCM writes by redirecting the
+write requests to a new physical address ... to overwrite memory locations
+containing all-zeros or all-ones depending on the content of the incoming
+writes" (§2.3).  It is content-aware like E2-NVM but far coarser: free
+locations are bucketed only by their ones-density (mostly-zero vs
+mostly-one vs mixed), and an incoming value is steered to the bucket
+matching its own density.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.baselines.base import Placer
+
+
+class DataConPlacer(Placer):
+    """Ones-density bucketing: zeros / mixed / ones free pools.
+
+    Args:
+        low_threshold: ones fraction below which content counts as
+            "mostly zeros".
+        high_threshold: ones fraction above which content counts as
+            "mostly ones".
+    """
+
+    name = "datacon"
+
+    def __init__(
+        self, low_threshold: float = 0.35, high_threshold: float = 0.65
+    ) -> None:
+        if not 0.0 < low_threshold < high_threshold < 1.0:
+            raise ValueError("need 0 < low < high < 1")
+        self.low_threshold = low_threshold
+        self.high_threshold = high_threshold
+        self._pools: dict[str, deque[int]] = {
+            "zeros": deque(), "mixed": deque(), "ones": deque(),
+        }
+
+    def fit(self, free_addresses, contents) -> "DataConPlacer":
+        """Bucket the free segments; ``contents[addr]`` is a bit vector."""
+        for addr in free_addresses:
+            self._pools[self._bucket(contents[addr])].append(addr)
+        return self
+
+    def choose(self, value_bits: np.ndarray) -> int:
+        bucket = self._bucket(value_bits)
+        order = {
+            "zeros": ("zeros", "mixed", "ones"),
+            "mixed": ("mixed", "zeros", "ones"),
+            "ones": ("ones", "mixed", "zeros"),
+        }[bucket]
+        for name in order:
+            if self._pools[name]:
+                return self._pools[name].popleft()
+        raise RuntimeError("no free segments available")
+
+    def release(self, addr: int, content_bits: np.ndarray) -> None:
+        self._pools[self._bucket(content_bits)].append(addr)
+
+    def free_count(self) -> int:
+        return sum(len(pool) for pool in self._pools.values())
+
+    def pool_sizes(self) -> dict[str, int]:
+        """Free addresses per density bucket."""
+        return {name: len(pool) for name, pool in self._pools.items()}
+
+    def _bucket(self, bits: np.ndarray) -> str:
+        fraction = float(np.asarray(bits, dtype=np.float64).mean())
+        if fraction < self.low_threshold:
+            return "zeros"
+        if fraction > self.high_threshold:
+            return "ones"
+        return "mixed"

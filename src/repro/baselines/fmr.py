@@ -1,0 +1,126 @@
+"""Flip-Mirror-Rotate — Palangappa & Mohanram, GLSVLSI 2015 [46].
+
+Per 32-bit word the controller considers four encodings — identity, bitwise
+flip, mirror (bit reversal), and rotate-right-by-one — and stores whichever
+programs the fewest cells, recording the choice in two tag bits per word.
+A strict superset of Flip-N-Write's search space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import WritePlan, WriteScheme
+from repro.util.bits import POPCOUNT_TABLE
+
+#: Bit-reversal lookup table for a single byte.
+_BIT_REVERSE = np.array(
+    [int(f"{b:08b}"[::-1], 2) for b in range(256)], dtype=np.uint8
+)
+
+_IDENTITY, _FLIP, _MIRROR, _ROTATE = 0, 1, 2, 3
+_TAG_BITS = 2
+_WORD_BYTES = 4
+
+
+def _mirror_words(words: np.ndarray) -> np.ndarray:
+    """Reverse the bit order of each 4-byte word (rows)."""
+    return _BIT_REVERSE[words[:, ::-1]]
+
+def _rotate_words(words: np.ndarray) -> np.ndarray:
+    """Rotate each 32-bit word right by one bit."""
+    as_u32 = words.copy().view(">u4").reshape(-1)
+    rotated = (as_u32 >> np.uint32(1)) | (as_u32 << np.uint32(31))
+    return rotated.astype(">u4").view(np.uint8).reshape(-1, _WORD_BYTES)
+
+def _unrotate_words(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_rotate_words` (rotate left by one bit)."""
+    as_u32 = words.copy().view(">u4").reshape(-1)
+    rotated = (as_u32 << np.uint32(1)) | (as_u32 >> np.uint32(31))
+    return rotated.astype(">u4").view(np.uint8).reshape(-1, _WORD_BYTES)
+
+
+class FMR(WriteScheme):
+    """Per-word minimum over {identity, flip, mirror, rotate-1}."""
+
+    name = "fmr"
+
+    def __init__(self) -> None:
+        self._tags: dict[int, np.ndarray] = {}
+
+    def reset(self) -> None:
+        self._tags.clear()
+
+    def prepare(
+        self, logical_addr: int, old_stored: np.ndarray, new_logical: np.ndarray
+    ) -> WritePlan:
+        wb = _WORD_BYTES
+        n = int(new_logical.size)
+        n_full = n // wb
+        tail = n - n_full * wb
+        n_words = n_full + (1 if tail else 0)
+
+        old_tags = self._tags.get(logical_addr)
+        if old_tags is None or old_tags.size != n_words:
+            old_tags = np.zeros(n_words, dtype=np.int64)
+
+        stored = np.empty(n, dtype=np.uint8)
+        mask = np.empty(n, dtype=np.uint8)
+        new_tags = np.zeros(n_words, dtype=np.int64)
+        aux_bits = 0
+
+        if n_full:
+            old_words = old_stored[: n_full * wb].reshape(n_full, wb)
+            new_words = new_logical[: n_full * wb].reshape(n_full, wb)
+            candidates = np.stack(
+                [
+                    new_words,
+                    np.bitwise_not(new_words),
+                    _mirror_words(new_words),
+                    _rotate_words(new_words),
+                ]
+            )  # (4, n_full, wb)
+            diffs = np.bitwise_xor(candidates, old_words[None, :, :])
+            costs = POPCOUNT_TABLE[diffs].sum(axis=2).astype(np.int64)
+            tag_penalty = (
+                np.arange(4)[:, None] != old_tags[:n_full][None, :]
+            ) * _TAG_BITS
+            best = np.argmin(costs + tag_penalty, axis=0)
+            rows = np.arange(n_full)
+            stored[: n_full * wb] = candidates[best, rows].reshape(-1)
+            mask[: n_full * wb] = diffs[best, rows].reshape(-1)
+            new_tags[:n_full] = best
+            aux_bits += int(np.count_nonzero(best != old_tags[:n_full])) * _TAG_BITS
+
+        if tail:
+            # Partial trailing word: store plainly (identity tag).
+            old_tail = old_stored[n_full * wb :]
+            new_tail = new_logical[n_full * wb :]
+            stored[n_full * wb :] = new_tail
+            mask[n_full * wb :] = np.bitwise_xor(old_tail, new_tail)
+            if old_tags[n_full] != _IDENTITY:
+                aux_bits += _TAG_BITS
+
+        self._tags[logical_addr] = new_tags
+        return WritePlan(stored=stored, program_mask=mask, aux_bits=aux_bits)
+
+    def decode(self, logical_addr: int, stored: np.ndarray) -> np.ndarray:
+        tags = self._tags.get(logical_addr)
+        if tags is None or not tags.any():
+            return stored
+        wb = _WORD_BYTES
+        n = int(stored.size)
+        n_full = n // wb
+        decoded = stored.copy()
+        if n_full:
+            words = decoded[: n_full * wb].reshape(n_full, wb)
+            for tag in np.unique(tags[:n_full]):
+                sel = tags[:n_full] == tag
+                if tag == _FLIP:
+                    words[sel] = np.bitwise_not(words[sel])
+                elif tag == _MIRROR:
+                    words[sel] = _mirror_words(words[sel])
+                elif tag == _ROTATE:
+                    words[sel] = _unrotate_words(words[sel])
+            decoded[: n_full * wb] = words.reshape(-1)
+        return decoded

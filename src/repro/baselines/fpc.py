@@ -1,0 +1,115 @@
+"""FPC-based bit-write reduction — Dgien et al., NANOARCH 2014 [15].
+
+Frequent-Pattern Compression classifies each 32-bit word into one of a few
+common patterns (all zeros, a sign-extended 8-bit value, a sign-extended
+16-bit value, or uncompressible); compressible words are written in their
+short form, so only the compressed bits plus a 2-bit pattern prefix are
+programmed — the rest of the word's cells are left untouched.
+
+The compressed bits occupy the word's leading bytes; the pattern prefix
+lives in per-word tag cells (side table), accounted as ``aux_bits``.  A
+differential (DCW) mask is applied on top of the compressed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import WritePlan, WriteScheme
+
+_WORD_BYTES = 4
+_PREFIX_BITS = 2
+
+_ZERO, _SIGN8, _SIGN16, _RAW = 0, 1, 2, 3
+#: Compressed byte length per pattern.
+_PATTERN_BYTES = {_ZERO: 0, _SIGN8: 1, _SIGN16: 2, _RAW: 4}
+
+
+def _classify(word: np.ndarray) -> int:
+    """Pick the shortest FPC pattern for one big-endian 4-byte word."""
+    b0, b1, b2, b3 = (int(x) for x in word)
+    if b0 == b1 == b2 == b3 == 0:
+        return _ZERO
+    # Sign-extended 8-bit: the top three bytes replicate bit 7 of byte 3.
+    ext8 = 0xFF if b3 & 0x80 else 0x00
+    if b0 == b1 == b2 == ext8:
+        return _SIGN8
+    ext16 = 0xFF if b2 & 0x80 else 0x00
+    if b0 == b1 == ext16:
+        return _SIGN16
+    return _RAW
+
+
+class FPC(WriteScheme):
+    """Frequent-pattern-compressed differential writes (32-bit words,
+    big-endian within the word)."""
+
+    name = "fpc"
+
+    def __init__(self) -> None:
+        self._patterns: dict[int, np.ndarray] = {}
+
+    def reset(self) -> None:
+        self._patterns.clear()
+
+    def prepare(
+        self, logical_addr: int, old_stored: np.ndarray, new_logical: np.ndarray
+    ) -> WritePlan:
+        wb = _WORD_BYTES
+        n = int(new_logical.size)
+        n_words = -(-n // wb)
+        stored = old_stored.copy()  # untouched cells keep their old value
+        mask = np.zeros(n, dtype=np.uint8)
+        patterns = np.full(n_words, _RAW, dtype=np.int64)
+        old_patterns = self._patterns.get(logical_addr)
+        if old_patterns is None or old_patterns.size != n_words:
+            old_patterns = np.full(n_words, _RAW, dtype=np.int64)
+        aux_bits = 0
+
+        for w in range(n_words):
+            start = w * wb
+            end = min(start + wb, n)
+            word = np.zeros(wb, dtype=np.uint8)
+            word[: end - start] = new_logical[start:end]
+            pattern = _classify(word) if end - start == wb else _RAW
+            patterns[w] = pattern
+            # The compressed payload: the word's low-order bytes (the tail,
+            # big-endian), placed at the start of the word's cell range.
+            if pattern == _RAW:
+                payload = word[: end - start]
+            else:
+                payload = word[wb - _PATTERN_BYTES[pattern] :]
+            region = slice(start, start + len(payload))
+            diff = np.bitwise_xor(old_stored[region], payload)
+            stored[region] = payload
+            mask[region] = diff
+            if pattern != old_patterns[w]:
+                aux_bits += _PREFIX_BITS
+
+        self._patterns[logical_addr] = patterns
+        return WritePlan(stored=stored, program_mask=mask, aux_bits=aux_bits)
+
+    def decode(self, logical_addr: int, stored: np.ndarray) -> np.ndarray:
+        patterns = self._patterns.get(logical_addr)
+        n = int(stored.size)
+        if patterns is None:
+            return stored
+        wb = _WORD_BYTES
+        decoded = np.empty(n, dtype=np.uint8)
+        for w in range(min(patterns.size, -(-n // wb))):
+            start = w * wb
+            end = min(start + wb, n)
+            pattern = int(patterns[w])
+            if pattern == _RAW or end - start < wb:
+                decoded[start:end] = stored[start:end]
+                continue
+            length = _PATTERN_BYTES[pattern]
+            word = np.zeros(wb, dtype=np.uint8)
+            if length:
+                payload = stored[start : start + length]
+                word[wb - length :] = payload
+                # Sign-extend from the payload's top bit.
+                if payload[0] & 0x80:
+                    word[: wb - length] = 0xFF
+            decoded[start:end] = word
+        return decoded

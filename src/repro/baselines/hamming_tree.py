@@ -1,0 +1,108 @@
+"""Hamming-Tree placement — Kargar & Nawab, CIDR 2021 / SIGMOD 2023 [28, 30].
+
+Free memory segments are organised in a metric tree keyed by their content's
+Hamming distance; an incoming write claims the (approximately) nearest free
+segment.  We implement the metric tree as a BK-tree, which supports exact
+nearest-neighbour search with triangle-inequality pruning.
+
+Claimed segments are tombstoned in place; the tree is rebuilt when live nodes
+drop below half, keeping amortised insert/search costs logarithmic in pool
+size for clustered contents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Placer
+from repro.util.bits import bits_to_bytes, hamming_distance
+
+
+class _Node:
+    __slots__ = ("addr", "content", "active", "children")
+
+    def __init__(self, addr: int, content: bytes) -> None:
+        self.addr = addr
+        self.content = content
+        self.active = True
+        self.children: dict[int, _Node] = {}
+
+
+class HammingTreePlacer(Placer):
+    """BK-tree over free-segment contents with nearest-neighbour claiming."""
+
+    name = "hamming-tree"
+
+    def __init__(self, free_addresses, contents) -> None:
+        """``contents`` maps address -> current bit vector of that segment."""
+        self._root: _Node | None = None
+        self._live = 0
+        self._total = 0
+        for addr in free_addresses:
+            self._insert(addr, bits_to_bytes(np.asarray(contents[addr])))
+
+    def choose(self, value_bits: np.ndarray) -> int:
+        if self._live == 0:
+            raise RuntimeError("no free segments available")
+        target = bits_to_bytes(np.asarray(value_bits))
+        node = self._nearest(target)
+        assert node is not None
+        node.active = False
+        self._live -= 1
+        if self._total > 16 and self._live * 2 < self._total:
+            self._rebuild()
+        return node.addr
+
+    def release(self, addr: int, content_bits: np.ndarray) -> None:
+        self._insert(addr, bits_to_bytes(np.asarray(content_bits)))
+
+    def free_count(self) -> int:
+        return self._live
+
+    def _insert(self, addr: int, content: bytes) -> None:
+        node = _Node(addr, content)
+        self._live += 1
+        self._total += 1
+        if self._root is None:
+            self._root = node
+            return
+        cursor = self._root
+        while True:
+            dist = hamming_distance(content, cursor.content)
+            child = cursor.children.get(dist)
+            if child is None:
+                cursor.children[dist] = node
+                return
+            cursor = child
+
+    def _nearest(self, target: bytes) -> _Node | None:
+        best: _Node | None = None
+        best_dist = len(target) * 8 + 1
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            dist = hamming_distance(target, node.content)
+            if node.active and dist < best_dist:
+                best, best_dist = node, dist
+                if dist == 0:
+                    break
+            # Triangle inequality: a child at edge distance d can hold points
+            # no closer than |dist - d| to the target.
+            for edge, child in node.children.items():
+                if abs(dist - edge) < best_dist:
+                    stack.append(child)
+        return best
+
+    def _rebuild(self) -> None:
+        survivors: list[tuple[int, bytes]] = []
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            if node.active:
+                survivors.append((node.addr, node.content))
+            stack.extend(node.children.values())
+        self._root = None
+        self._live = 0
+        self._total = 0
+        for addr, content in survivors:
+            self._insert(addr, content)

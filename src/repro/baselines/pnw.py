@@ -1,0 +1,99 @@
+"""Predict-and-Write (PNW) — Kargar, Litz & Nawab, ICDE 2021 [26].
+
+PNW clusters free memory segments with plain K-means over their raw bit
+content (optionally preceded by PCA when the feature count makes raw K-means
+intractable — the trade-off Figure 4 quantifies), then serves each incoming
+write from the nearest cluster's free list.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.baselines.base import Placer
+from repro.ml.kmeans import KMeans
+from repro.ml.pca import PCA
+
+
+class PNWPlacer(Placer):
+    """K-means (or PCA+K-means) placement over free-segment contents.
+
+    Args:
+        n_clusters: K for the clustering model.
+        pca_components: if set, project contents with PCA before K-means
+            (PNW's scaling mode for large segments).
+        seed: RNG seed for the models.
+    """
+
+    name = "pnw"
+
+    def __init__(
+        self,
+        n_clusters: int,
+        pca_components: int | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.n_clusters = n_clusters
+        self.pca_components = pca_components
+        self._seed = seed
+        self._pca: PCA | None = None
+        self._kmeans: KMeans | None = None
+        self._pools: dict[int, deque[int]] = {}
+
+    def fit(self, free_addresses, contents) -> "PNWPlacer":
+        """Cluster the free segments; ``contents[addr]`` is a bit vector."""
+        addresses = list(free_addresses)
+        if len(addresses) < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} free segments"
+            )
+        X = np.stack([np.asarray(contents[a], dtype=np.float64) for a in addresses])
+        if self.pca_components is not None:
+            self._pca = PCA(self.pca_components)
+            X = self._pca.fit_transform(X)
+        self._kmeans = KMeans(self.n_clusters, seed=self._seed).fit(X)
+        self._pools = {c: deque() for c in range(self.n_clusters)}
+        for addr, label in zip(addresses, self._kmeans.labels_):
+            self._pools[int(label)].append(addr)
+        return self
+
+    def predict(self, value_bits: np.ndarray) -> int:
+        """Cluster id for one value's bit vector."""
+        if self._kmeans is None:
+            raise RuntimeError("placer is not fitted")
+        x = np.atleast_2d(np.asarray(value_bits, dtype=np.float64))
+        if self._pca is not None:
+            x = self._pca.transform(x)
+        return int(self._kmeans.predict(x)[0])
+
+    def choose(self, value_bits: np.ndarray) -> int:
+        cluster = self.predict(value_bits)
+        pool = self._pools.get(cluster)
+        if pool:
+            return pool.popleft()
+        return self._fallback(cluster)
+
+    def release(self, addr: int, content_bits: np.ndarray) -> None:
+        self._pools[self.predict(content_bits)].append(addr)
+
+    def free_count(self) -> int:
+        return sum(len(pool) for pool in self._pools.values())
+
+    def pool_sizes(self) -> dict[int, int]:
+        """Free addresses per cluster (for retrain-threshold logic/tests)."""
+        return {c: len(pool) for c, pool in self._pools.items()}
+
+    def _fallback(self, cluster: int) -> int:
+        """Serve from the nearest non-empty cluster by centroid distance."""
+        assert self._kmeans is not None
+        centers = self._kmeans.cluster_centers_
+        target = centers[cluster]
+        candidates = sorted(
+            (c for c, pool in self._pools.items() if pool),
+            key=lambda c: float(np.sum((centers[c] - target) ** 2)),
+        )
+        if not candidates:
+            raise RuntimeError("no free segments available")
+        return self._pools[candidates[0]].popleft()

@@ -1,0 +1,34 @@
+"""E2-NVM core: the paper's primary contribution.
+
+- :mod:`repro.core.config` — hyperparameters of the whole stack;
+- :mod:`repro.core.pipeline` — the VAE+K-means prediction model;
+- :mod:`repro.core.address_pool` — the cluster-to-memory Dynamic Address
+  Pool (DAP) of §3.3.1;
+- :mod:`repro.core.padding` — the padding strategies of §4;
+- :mod:`repro.core.e2nvm` — the placement engine (Algorithms 1 and 2);
+- :mod:`repro.core.retraining` — lazy retrain policy (§4.1.4, §5.3);
+- :mod:`repro.core.kvstore` — the persistent key/value store of Figure 3.
+"""
+
+from repro.core.address_pool import DynamicAddressPool
+from repro.core.batching import BatchLocator, WriteBatcher
+from repro.core.config import E2NVMConfig
+from repro.core.e2nvm import E2NVM
+from repro.core.kvstore import KVStore
+from repro.core.padding import Padder, PaddingPosition, PaddingStrategy
+from repro.core.pipeline import EncoderPipeline
+from repro.core.retraining import RetrainPolicy
+
+__all__ = [
+    "E2NVM",
+    "E2NVMConfig",
+    "KVStore",
+    "DynamicAddressPool",
+    "EncoderPipeline",
+    "Padder",
+    "PaddingStrategy",
+    "PaddingPosition",
+    "RetrainPolicy",
+    "WriteBatcher",
+    "BatchLocator",
+]

@@ -1,0 +1,119 @@
+"""The cluster-to-memory Dynamic Address Pool (DAP, §3.3.1).
+
+A mapping from cluster id to the free memory addresses whose current content
+belongs to that cluster.  PUT pops the *first* available address of the
+predicted cluster (the paper's deliberate first-fit choice); DELETE recycles
+addresses back into the pool.  All mutation is lock-protected — the paper
+notes E2-NVM "utilize[s] thread-safe methods ... to maintain address pools
+and mapping" (§5.1).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+
+class DynamicAddressPool:
+    """Per-cluster FIFO free lists of segment addresses."""
+
+    #: DRAM bytes per pool entry (an 8-byte address plus list overhead),
+    #: used for the Figure 7 footprint accounting.
+    BYTES_PER_ENTRY = 16
+    #: Fixed DRAM bytes per cluster bucket.
+    BYTES_PER_CLUSTER = 64
+
+    def __init__(self, n_clusters: int) -> None:
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = n_clusters
+        self._pools: dict[int, deque[int]] = {
+            c: deque() for c in range(n_clusters)
+        }
+        self._lock = threading.Lock()
+
+    def populate(self, labels, addresses) -> None:
+        """Bulk-load (cluster, address) pairs during initialisation."""
+        with self._lock:
+            for label, addr in zip(labels, addresses):
+                self._pools[int(label)].append(int(addr))
+
+    def get(self, cluster: int, centroids: np.ndarray | None = None) -> int:
+        """Pop the first free address of ``cluster``.
+
+        When the cluster is empty and ``centroids`` are given, falls back to
+        the nearest non-empty cluster by centroid distance; without
+        centroids, falls back to the fullest non-empty cluster.
+
+        Raises:
+            RuntimeError: when every cluster is empty.
+        """
+        with self._lock:
+            pool = self._pools[cluster]
+            if pool:
+                return pool.popleft()
+            fallback = self._fallback_cluster(cluster, centroids)
+            if fallback is None:
+                raise RuntimeError("dynamic address pool is exhausted")
+            return self._pools[fallback].popleft()
+
+    def add(self, cluster: int, addr: int) -> None:
+        """Recycle ``addr`` into ``cluster`` (the DELETE path)."""
+        if not 0 <= cluster < self.n_clusters:
+            raise KeyError(f"cluster {cluster} out of range")
+        with self._lock:
+            self._pools[cluster].append(int(addr))
+
+    def drain(self) -> list[int]:
+        """Remove and return every free address (used before a retrain)."""
+        with self._lock:
+            addrs = [a for pool in self._pools.values() for a in pool]
+            for pool in self._pools.values():
+                pool.clear()
+            return addrs
+
+    def snapshot_addresses(self) -> list[int]:
+        """Every free address, without removing anything (for background
+        retraining snapshots)."""
+        with self._lock:
+            return [a for pool in self._pools.values() for a in pool]
+
+    def free_count(self) -> int:
+        """Total free addresses across all clusters."""
+        with self._lock:
+            return sum(len(pool) for pool in self._pools.values())
+
+    def min_cluster_free(self) -> int:
+        """Smallest per-cluster free count (drives the retrain trigger)."""
+        with self._lock:
+            return min(len(pool) for pool in self._pools.values())
+
+    def sizes(self) -> dict[int, int]:
+        """Free addresses per cluster."""
+        with self._lock:
+            return {c: len(pool) for c, pool in self._pools.items()}
+
+    def memory_footprint_bytes(self) -> int:
+        """Estimated DRAM footprint of the pool (Figure 7)."""
+        with self._lock:
+            entries = sum(len(pool) for pool in self._pools.values())
+        return (
+            entries * self.BYTES_PER_ENTRY
+            + self.n_clusters * self.BYTES_PER_CLUSTER
+        )
+
+    def _fallback_cluster(
+        self, cluster: int, centroids: np.ndarray | None
+    ) -> int | None:
+        non_empty = [c for c, pool in self._pools.items() if pool]
+        if not non_empty:
+            return None
+        if centroids is None:
+            return max(non_empty, key=lambda c: len(self._pools[c]))
+        target = centroids[cluster]
+        return min(
+            non_empty,
+            key=lambda c: float(np.sum((centroids[c] - target) ** 2)),
+        )

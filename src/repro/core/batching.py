@@ -1,0 +1,133 @@
+"""Write batching for small values (§4.1.4).
+
+"To overcome the overhead incurred due to small key-value pairs, batching
+can be applied so that small writes are grouped together to form larger
+writes to memory segments.  This way, E2-NVM needs to map the free memory
+locations based on the batch size rather than the key-value pair size."
+
+``WriteBatcher`` accumulates small values into a segment-sized buffer; when
+the buffer fills (or ``flush`` is called), the whole batch is placed by the
+engine as one segment write.  ``put`` returns a :class:`PendingValue`
+handle whose ``locator`` resolves to (batch address, offset, length) once
+its batch is flushed.  Deleting a value tombstones it inside its batch; a
+batch whose live bytes drop to zero is released back to the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.e2nvm import E2NVM
+
+
+@dataclass(frozen=True)
+class BatchLocator:
+    """Where a batched value lives: its batch's segment and slice."""
+
+    batch_addr: int
+    offset: int
+    length: int
+
+
+class PendingValue:
+    """Handle for a buffered value; resolves to a locator at flush time."""
+
+    def __init__(self, batcher: "WriteBatcher", offset: int, length: int) -> None:
+        self._batcher = batcher
+        self._offset = offset
+        self._length = length
+        self._locator: BatchLocator | None = None
+
+    def _resolve(self, batch_addr: int) -> None:
+        self._locator = BatchLocator(batch_addr, self._offset, self._length)
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the value's batch has been flushed."""
+        return self._locator is not None
+
+    @property
+    def locator(self) -> BatchLocator:
+        """The value's final location (flushes the open batch if needed)."""
+        if self._locator is None:
+            self._batcher.flush()
+        assert self._locator is not None
+        return self._locator
+
+
+class WriteBatcher:
+    """Groups small values into engine-segment-sized batch writes.
+
+    Args:
+        engine: a trained :class:`E2NVM` engine providing placement.
+        pad_byte: filler for the unused tail of a flushed batch buffer.
+    """
+
+    def __init__(self, engine: E2NVM, pad_byte: int = 0) -> None:
+        if not 0 <= pad_byte <= 255:
+            raise ValueError("pad_byte must be a byte value")
+        self.engine = engine
+        self.segment_size = engine.segment_size
+        self.pad_byte = pad_byte
+        self._buffer = bytearray()
+        self._open_handles: list[PendingValue] = []
+        self._live_bytes: dict[int, int] = {}  # batch addr -> live payload
+
+    @property
+    def open_bytes(self) -> int:
+        """Bytes buffered and not yet flushed."""
+        return len(self._buffer)
+
+    def put(self, value: bytes) -> PendingValue:
+        """Buffer a value; returns a handle that resolves after flush.
+
+        Values longer than a segment are rejected — write those directly
+        through the engine.
+        """
+        if not isinstance(value, bytes) or not value:
+            raise TypeError("values must be non-empty bytes")
+        if len(value) > self.segment_size:
+            raise ValueError(
+                f"value of {len(value)} bytes exceeds the "
+                f"{self.segment_size}-byte batch size"
+            )
+        if len(self._buffer) + len(value) > self.segment_size:
+            self.flush()
+        handle = PendingValue(self, len(self._buffer), len(value))
+        self._buffer.extend(value)
+        self._open_handles.append(handle)
+        return handle
+
+    def flush(self) -> int | None:
+        """Write the open batch through the engine; returns its address."""
+        if not self._buffer:
+            return None
+        payload = bytes(self._buffer).ljust(
+            self.segment_size, bytes([self.pad_byte])
+        )
+        addr, _ = self.engine.write(payload)
+        self._live_bytes[addr] = sum(h._length for h in self._open_handles)
+        for handle in self._open_handles:
+            handle._resolve(addr)
+        self._buffer = bytearray()
+        self._open_handles = []
+        return addr
+
+    def read(self, locator: BatchLocator) -> bytes:
+        """Read one batched value back through the engine's controller."""
+        return self.engine.controller.read(
+            locator.batch_addr + locator.offset, locator.length
+        )
+
+    def delete(self, locator: BatchLocator) -> None:
+        """Tombstone a value; releases the batch when it empties."""
+        if locator.batch_addr not in self._live_bytes:
+            raise KeyError(f"unknown batch {locator.batch_addr}")
+        self._live_bytes[locator.batch_addr] -= locator.length
+        if self._live_bytes[locator.batch_addr] <= 0:
+            del self._live_bytes[locator.batch_addr]
+            self.engine.release(locator.batch_addr)
+
+    def live_batches(self) -> int:
+        """Flushed batches still holding live values."""
+        return len(self._live_bytes)

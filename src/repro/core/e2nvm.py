@@ -1,0 +1,270 @@
+"""The E2-NVM placement engine (Algorithms 1 and 2).
+
+``E2NVM`` owns the trained prediction pipeline and the Dynamic Address Pool
+and exposes the write path of Algorithm 1:
+
+1. ``predict`` the incoming value's cluster (VAE encoder + K-means, with
+   padding when the value is shorter than a segment);
+2. pop a free address of that cluster from the DAP;
+3. write the value there — the controller's DCW scheme programs only the
+   bits that differ from the (similar) old content;
+
+and the recycle path of Algorithm 2: a freed segment's *current content* is
+re-encoded and the address returned to the matching cluster's free list.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.address_pool import DynamicAddressPool
+from repro.core.config import E2NVMConfig
+from repro.core.pipeline import EncoderPipeline
+from repro.core.retraining import RetrainPolicy
+from repro.nvm.controller import MemoryController
+from repro.nvm.device import WriteResult
+from repro.util.rng import rng_from_seed
+
+
+class E2NVM:
+    """Memory-aware write placement over a :class:`MemoryController`.
+
+    Args:
+        controller: the NVM front-end the engine places writes on.
+        config: hyperparameters; see :class:`E2NVMConfig`.
+    """
+
+    def __init__(
+        self, controller: MemoryController, config: E2NVMConfig | None = None
+    ) -> None:
+        self.controller = controller
+        self.config = config or E2NVMConfig()
+        self.segment_size = controller.segment_size
+        self.input_bits = self.segment_size * 8
+        self.pipeline = EncoderPipeline(self.input_bits, self.config)
+        self.dap = DynamicAddressPool(self.config.n_clusters)
+        self.policy = RetrainPolicy(
+            min_free_per_cluster=self.config.retrain_threshold,
+            cooldown_writes=self.config.retrain_cooldown_writes,
+        )
+        self.retrain_count = 0
+        self._allocated: set[int] = set()
+        self._rng = rng_from_seed(self.config.seed)
+        self._memory_ones_fraction = 0.5
+        self._ones_fraction_age = 0
+        # Serialises place/release against background model swaps.
+        self._swap_lock = threading.RLock()
+
+    # ------------------------------------------------------------- training
+
+    def free_addresses(self) -> list[int]:
+        """Addresses of all segments not currently allocated."""
+        return [
+            self.controller.segment_address(i)
+            for i in range(self.controller.n_segments)
+            if self.controller.segment_address(i) not in self._allocated
+        ]
+
+    def train(
+        self, verbose: bool = False, addresses: list[int] | None = None
+    ) -> dict:
+        """(Re)train the model on free-segment contents and rebuild the DAP.
+
+        Args:
+            addresses: optional subset of free addresses to index — the
+                "dynamic incremental approach" of §4.1.4 starts by indexing
+                a portion of memory; add the rest later with
+                :meth:`add_addresses`.
+
+        Returns the training history (loss curves) of the pipeline.
+        """
+        if addresses is not None:
+            free = list(addresses)
+            for addr in free:
+                self._check_segment_address(addr)
+                if addr in self._allocated:
+                    raise ValueError(f"address {addr} is allocated")
+        elif self.pipeline.trained:
+            free = self.dap.drain() or self.free_addresses()
+        else:
+            free = self.free_addresses()
+        if len(free) < self.config.n_clusters:
+            raise RuntimeError(
+                f"cannot train on {len(free)} free segments with "
+                f"n_clusters={self.config.n_clusters}"
+            )
+        contents = self._segment_bits(free)
+
+        sample = contents
+        if len(free) > self.config.train_sample_limit:
+            pick = self._rng.choice(
+                len(free), size=self.config.train_sample_limit, replace=False
+            )
+            sample = contents[pick]
+        history = self.pipeline.fit(sample, verbose=verbose)
+
+        labels = self.pipeline.predict_segments(contents)
+        with self._swap_lock:
+            self.dap = DynamicAddressPool(self.config.n_clusters)
+            self.dap.populate(labels, free)
+        self._refresh_ones_fraction(contents)
+        self.policy.record_retrain()
+        return history
+
+    def add_addresses(self, addresses: list[int]) -> None:
+        """Incrementally index more free segments into the DAP (§4.1.4).
+
+        Each address is classified with the current model and appended to
+        its cluster's free list; no retraining happens.
+        """
+        self._require_trained()
+        addresses = list(addresses)
+        if not addresses:
+            return
+        for addr in addresses:
+            self._check_segment_address(addr)
+            if addr in self._allocated:
+                raise ValueError(f"address {addr} is allocated")
+        labels = self.pipeline.predict_segments(self._segment_bits(addresses))
+        with self._swap_lock:
+            self.dap.populate(labels, addresses)
+
+    def train_async(self) -> threading.Thread:
+        """Retrain lazily in the background and swap models atomically.
+
+        The paper stresses that "the writing process does not have to be
+        stopped because the retraining is done in the background lazily"
+        (§5.3): writes keep using the old model; when the new model is
+        ready, the pipeline is swapped and the free pool re-clustered under
+        the swap lock.
+
+        Returns the worker thread (join it to wait for the swap).
+        """
+        self._require_trained()
+        snapshot = self.dap.snapshot_addresses()
+        if len(snapshot) < self.config.n_clusters:
+            raise RuntimeError("not enough free segments to retrain on")
+        contents = self._segment_bits(snapshot)
+        sample = contents
+        if len(snapshot) > self.config.train_sample_limit:
+            pick = self._rng.choice(
+                len(snapshot), size=self.config.train_sample_limit,
+                replace=False,
+            )
+            sample = contents[pick]
+        new_pipeline = EncoderPipeline(self.input_bits, self.config)
+
+        def worker() -> None:
+            new_pipeline.fit(sample)
+            with self._swap_lock:
+                free_now = self.dap.drain()
+                self.pipeline = new_pipeline
+                if free_now:
+                    labels = new_pipeline.predict_segments(
+                        self._segment_bits(free_now)
+                    )
+                    self.dap = DynamicAddressPool(self.config.n_clusters)
+                    self.dap.populate(labels, free_now)
+                self.retrain_count += 1
+                self.policy.record_retrain()
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        return thread
+
+    # ------------------------------------------------------------ operations
+
+    def place(self, value: bytes | np.ndarray) -> int:
+        """Algorithm 1, lines 1–4: claim the best free address for a value."""
+        self._require_trained()
+        with self._swap_lock:
+            cluster = self.pipeline.predict_cluster(
+                value, memory_ones_fraction=self._memory_ones_fraction
+            )
+            addr = self.dap.get(cluster, centroids=self.pipeline.centroids)
+            self._allocated.add(addr)
+        return addr
+
+    def write(self, value: bytes) -> tuple[int, WriteResult]:
+        """Algorithm 1 end-to-end: place, then differential-write the value.
+
+        Only the value's own ``len(value)`` bytes are written — padded bits
+        used for prediction never reach the media (§4.1).
+        """
+        if len(value) > self.segment_size:
+            raise ValueError(
+                f"value of {len(value)} bytes exceeds segment size "
+                f"{self.segment_size}"
+            )
+        addr = self.place(value)
+        result = self.controller.write(addr, value)
+        self.policy.record_write()
+        self._ones_fraction_age += 1
+        if self.config.auto_retrain:
+            self.maybe_retrain()
+        return addr, result
+
+    def release(self, addr: int) -> None:
+        """Algorithm 2, lines 3–4: re-cluster a freed address into the DAP."""
+        self._require_trained()
+        if addr not in self._allocated:
+            raise KeyError(f"address {addr} is not allocated")
+        bits = self._segment_bits([addr])
+        with self._swap_lock:
+            cluster = int(self.pipeline.predict_segments(bits)[0])
+            self._allocated.discard(addr)
+            self.dap.add(cluster, addr)
+
+    def maybe_retrain(self) -> bool:
+        """Run the retrain policy; retrains and returns True when it fires."""
+        fire = self.policy.should_retrain(
+            self.dap.min_cluster_free(),
+            self.dap.free_count(),
+            self.config.n_clusters,
+        )
+        if fire:
+            self.train()
+            self.retrain_count += 1
+        return fire
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def stats(self):
+        """The underlying device's cumulative counters."""
+        return self.controller.stats
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of segments currently claimed by live values."""
+        return len(self._allocated)
+
+    def memory_footprint_bytes(self) -> int:
+        """DRAM footprint of the DAP (the Figure 7 metric)."""
+        return self.dap.memory_footprint_bytes()
+
+    # -------------------------------------------------------------- internals
+
+    def _segment_bits(self, addresses) -> np.ndarray:
+        rows = np.empty((len(addresses), self.input_bits), dtype=np.float64)
+        for i, addr in enumerate(addresses):
+            content = self.controller.peek(addr, self.segment_size)
+            rows[i] = np.unpackbits(content)
+        return rows
+
+    def _refresh_ones_fraction(self, contents_bits: np.ndarray) -> None:
+        if contents_bits.size:
+            self._memory_ones_fraction = float(contents_bits.mean())
+        self._ones_fraction_age = 0
+
+    def _check_segment_address(self, addr: int) -> None:
+        if addr % self.segment_size:
+            raise ValueError(f"address {addr} is not segment-aligned")
+        if not 0 <= addr < self.controller.n_segments * self.segment_size:
+            raise IndexError(f"address {addr} out of range")
+
+    def _require_trained(self) -> None:
+        if not self.pipeline.trained:
+            raise RuntimeError("E2NVM.train() must be called before operations")

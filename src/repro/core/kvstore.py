@@ -1,0 +1,99 @@
+"""The persistent key/value store of Figure 3.
+
+Four components cooperate exactly as the paper's diagram shows:
+
+- **E2-NVM** (the placement engine) predicts clusters and serves addresses;
+- the **Dynamic Address Pool** lives inside the engine;
+- the **data index** — a DRAM-resident red-black tree — maps keys to the NVM
+  address and length of their value;
+- **NVM storage** holds the values, one per fixed-size segment.
+
+PUT/UPDATE follow Algorithm 1 (new writes go to a freshly predicted similar
+segment; the update's old segment is recycled).  DELETE follows Algorithm 2
+(the validity flag is reset and the address re-clustered into the DAP).  GET
+and SCAN go through the index only.
+"""
+
+from __future__ import annotations
+
+from repro.core.e2nvm import E2NVM
+from repro.index.rbtree import RedBlackTree
+
+
+class KVStore:
+    """Persistent KV store with memory-aware write placement.
+
+    Args:
+        engine: a trained (or to-be-trained) :class:`E2NVM` engine.
+        index: the key → location index; defaults to a red-black tree, as in
+            Figure 3 ("RB-Tree.put(D, A)").
+    """
+
+    def __init__(self, engine: E2NVM, index=None) -> None:
+        self.engine = engine
+        self.index = index if index is not None else RedBlackTree()
+        # Per-address validity flags (the paper resets a flag bit on DELETE;
+        # we keep the flags DRAM-resident as segment layout has no header).
+        self._valid: dict[int, bool] = {}
+
+    def train(self, verbose: bool = False) -> dict:
+        """Train the placement engine on the current memory contents."""
+        return self.engine.train(verbose=verbose)
+
+    def put(self, key: bytes, value: bytes) -> int:
+        """Insert or update; returns the NVM address chosen for the value."""
+        if not isinstance(key, bytes):
+            raise TypeError("keys must be bytes")
+        if not isinstance(value, bytes) or not value:
+            raise TypeError("values must be non-empty bytes")
+        old = self.index.get(key)
+        addr, _ = self.engine.write(value)
+        self._valid[addr] = True
+        self.index.put(key, (addr, len(value)))
+        if old is not None:
+            # UPDATE: the previous location is recycled (Algorithm 2's path).
+            old_addr, _ = old
+            self._valid[old_addr] = False
+            self.engine.release(old_addr)
+        return addr
+
+    def get(self, key: bytes) -> bytes | None:
+        """Value for ``key``, or ``None`` when absent."""
+        entry = self.index.get(key)
+        if entry is None:
+            return None
+        addr, length = entry
+        return self.engine.controller.read(addr, length)
+
+    def delete(self, key: bytes) -> bool:
+        """Algorithm 2: unlink, reset the flag, recycle the address."""
+        entry = self.index.get(key)
+        if entry is None:
+            return False
+        addr, _ = entry
+        self.index.delete(key)
+        self._valid[addr] = False
+        self.engine.release(addr)
+        return True
+
+    def scan(self, start_key: bytes, end_key: bytes) -> list[tuple[bytes, bytes]]:
+        """All (key, value) pairs with start_key <= key <= end_key, in order."""
+        out = []
+        for key, (addr, length) in self.index.range(start_key, end_key):
+            out.append((key, self.engine.controller.read(addr, length)))
+        return out
+
+    def items(self):
+        """Yield every (key, value) pair in key order."""
+        for key, (addr, length) in self.index.items():
+            yield key, self.engine.controller.read(addr, length)
+
+    def keys(self):
+        """Yield every key in order."""
+        yield from self.index.keys()
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.index.get(key) is not None

@@ -1,0 +1,123 @@
+"""The E2-NVM prediction model: VAE encoder + K-means, with padding.
+
+This wraps :class:`repro.ml.joint.JointVAEKMeans` behind the interface the
+storage layer needs — ``fit`` on segment contents, ``predict_cluster`` for a
+(possibly shorter-than-segment) value — and owns the padding machinery so
+that training and prediction see consistently shaped inputs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import E2NVMConfig
+from repro.core.padding import DatasetDistributionTracker, Padder
+from repro.ml.joint import JointVAEKMeans
+from repro.ml.lstm import LSTMPredictor
+from repro.util.bits import bytes_to_bits
+from repro.util.rng import rng_from_seed
+
+
+class EncoderPipeline:
+    """Trainable segment-content → cluster-id model.
+
+    Args:
+        input_bits: model width ``w`` (bits per memory segment).
+        config: hyperparameters (cluster count, VAE shape, padding choice).
+    """
+
+    def __init__(self, input_bits: int, config: E2NVMConfig) -> None:
+        if input_bits <= 0:
+            raise ValueError("input_bits must be positive")
+        self.input_bits = input_bits
+        self.config = config
+        self._rng = rng_from_seed(config.seed)
+        self.model = JointVAEKMeans(
+            input_dim=input_bits,
+            n_clusters=config.n_clusters,
+            latent_dim=config.latent_dim,
+            hidden=config.hidden,
+            gamma=config.gamma,
+            pretrain_epochs=config.pretrain_epochs,
+            joint_epochs=config.joint_epochs,
+            batch_size=config.batch_size,
+            lr=config.lr,
+            kl_weight=config.kl_weight,
+            seed=self._rng,
+        )
+        self.tracker = DatasetDistributionTracker()
+        self.lstm: LSTMPredictor | None = None
+        if config.padding_strategy == "learned":
+            self.lstm = LSTMPredictor(
+                window_bits=config.lstm_window_bits,
+                chunk_bits=config.lstm_chunk_bits,
+                hidden_dim=config.lstm_hidden,
+                seed=self._rng,
+            )
+        self.padder = Padder(
+            target_bits=input_bits,
+            strategy=config.padding_strategy,
+            position=config.padding_position,
+            seed=self._rng,
+            lstm=self.lstm,
+            tracker=self.tracker,
+        )
+        self.trained = False
+        self.prediction_count = 0
+        self.prediction_seconds = 0.0
+
+    def fit(self, segment_bits: np.ndarray, verbose: bool = False) -> dict:
+        """Train on the bit contents of the (free) memory segments."""
+        X = np.atleast_2d(np.asarray(segment_bits, dtype=np.float64))
+        if X.shape[1] != self.input_bits:
+            raise ValueError(
+                f"segments have {X.shape[1]} bits, model expects {self.input_bits}"
+            )
+        self.model.fit(X, verbose=verbose)
+        if self.lstm is not None:
+            self.lstm.fit(
+                X,
+                epochs=self.config.lstm_epochs,
+                verbose=verbose,
+            )
+        self.trained = True
+        return self.model.history
+
+    def predict_cluster(
+        self,
+        value: bytes | np.ndarray,
+        memory_ones_fraction: float | None = None,
+    ) -> int:
+        """Cluster id for a value, padding it to the model width if short."""
+        bits = self._to_bits(value)
+        padded = self.padder.pad(bits, memory_ones_fraction)
+        start = time.perf_counter()
+        cluster = self.model.predict_one(padded)
+        self.prediction_seconds += time.perf_counter() - start
+        self.prediction_count += 1
+        return cluster
+
+    def predict_segments(self, segment_bits: np.ndarray) -> np.ndarray:
+        """Cluster ids for full-width segment contents (no padding needed)."""
+        return self.model.predict(
+            np.atleast_2d(np.asarray(segment_bits, dtype=np.float64))
+        )
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """Latent centroids of the trained model."""
+        return self.model.centroids
+
+    @property
+    def mean_prediction_latency_us(self) -> float:
+        """Average prediction latency in microseconds (Figure 10, right)."""
+        if not self.prediction_count:
+            return 0.0
+        return self.prediction_seconds / self.prediction_count * 1e6
+
+    def _to_bits(self, value: bytes | np.ndarray) -> np.ndarray:
+        if isinstance(value, (bytes, bytearray, memoryview)):
+            return bytes_to_bits(value)
+        return np.asarray(value, dtype=np.float32).reshape(-1)

@@ -1,0 +1,54 @@
+"""Retrain policy (§4.1.4 and §5.3).
+
+E2-NVM "set[s] a minimum threshold to [the] number of addresses in each
+cluster and will trigger the re-training process in the background when one
+of the clusters reaches the threshold".  The policy here decides *when*; the
+engine performs the retrain and swaps models atomically (our simulation runs
+the retrain synchronously at the trigger point — the paper stresses that
+writes need not stop, which changes the timeline but not placement quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RetrainPolicy:
+    """Threshold-plus-cooldown retrain trigger.
+
+    Attributes:
+        min_free_per_cluster: trigger when any cluster's free list shrinks
+            below this.
+        cooldown_writes: suppress triggers within this many writes of the
+            previous retrain.
+    """
+
+    min_free_per_cluster: int = 1
+    cooldown_writes: int = 256
+    triggers: int = field(default=0, init=False)
+    _writes_since_retrain: int = field(default=0, init=False)
+
+    def record_write(self) -> None:
+        """Count one write toward the cooldown window."""
+        self._writes_since_retrain += 1
+
+    def record_retrain(self) -> None:
+        """Reset the cooldown after a (manual or automatic) retrain."""
+        self._writes_since_retrain = 0
+
+    def should_retrain(self, min_cluster_free: int, total_free: int,
+                       n_clusters: int) -> bool:
+        """Decide whether a retrain should fire now.
+
+        Requires the threshold to be tripped, the cooldown expired, and
+        enough free segments left to train on (at least one per cluster).
+        """
+        if min_cluster_free >= self.min_free_per_cluster:
+            return False
+        if self._writes_since_retrain < self.cooldown_writes:
+            return False
+        if total_free < n_clusters:
+            return False
+        self.triggers += 1
+        return True

@@ -1,0 +1,37 @@
+"""NVM-resident index structures evaluated in Figure 12.
+
+Each structure persists its data through a :class:`repro.nvm.MemoryController`
+and counts every programmed bit, so the paper's "bit updates per data bit"
+metric falls out directly.  Every structure runs in two modes:
+
+- **standalone** — values live wherever the structure's own layout puts them
+  (inline in B+-tree leaves, hash cells, the vLog, ...);
+- **plugged into E2-NVM** — value placement is delegated to a trained
+  :class:`repro.core.E2NVM` engine, and the structure stores an 8-byte
+  pointer instead; this is the paper's "augmenting E2-NVM to existing NVM
+  data structures".
+
+Implemented structures: B+-tree [9], FP-Tree [45], Path Hashing [54],
+WiscKey [35], NoveLSM [25], plus the DRAM red-black tree that serves as the
+KV store's data index (Figure 3).
+"""
+
+from repro.index.base import InlineValues, PluggedValues, NVMIndex
+from repro.index.rbtree import RedBlackTree
+from repro.index.bplustree import BPlusTree
+from repro.index.fptree import FPTree
+from repro.index.path_hashing import PathHashingTable
+from repro.index.wisckey import WiscKeyStore
+from repro.index.novelsm import NoveLSMStore
+
+__all__ = [
+    "NVMIndex",
+    "InlineValues",
+    "PluggedValues",
+    "RedBlackTree",
+    "BPlusTree",
+    "FPTree",
+    "PathHashingTable",
+    "WiscKeyStore",
+    "NoveLSMStore",
+]

@@ -1,0 +1,39 @@
+"""Segment-granularity node allocator for the NVM index structures."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.nvm.controller import MemoryController
+
+
+class SegmentAllocator:
+    """Bump allocator with a free list over a controller's segments."""
+
+    def __init__(self, controller: MemoryController, start_segment: int = 0) -> None:
+        self.controller = controller
+        self._next = start_segment
+        self._free: deque[int] = deque()
+
+    def allocate(self) -> int:
+        """Return the address of a fresh (or recycled) segment.
+
+        Raises:
+            RuntimeError: when the device is out of segments.
+        """
+        if self._free:
+            return self._free.popleft()
+        if self._next >= self.controller.n_segments:
+            raise RuntimeError("index device is out of segments")
+        addr = self.controller.segment_address(self._next)
+        self._next += 1
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Recycle a segment address."""
+        self._free.append(addr)
+
+    @property
+    def segments_in_use(self) -> int:
+        """Segments handed out and not yet recycled."""
+        return self._next - len(self._free)

@@ -1,0 +1,219 @@
+"""Persistent B+-tree [9] with sorted leaves on NVM.
+
+The paper's Figure 12 finds the plain B+-tree has the *worst* bit-flip
+behaviour: "the items in leaf nodes need to be sorted, which increases the
+number of movements and bit flips".  We reproduce exactly that: every insert
+re-serialises the sorted leaf and rewrites the whole node, so entries shift
+and nearly every byte after the insertion point changes.
+
+The tree topology is mirrored in DRAM for traversal convenience; every node
+mutation writes the node's full serialised image to its NVM segment, which
+is what determines the measured flips.  Deletion is lazy (no rebalancing),
+as is common for persistent B+-tree variants.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.index.alloc import SegmentAllocator
+from repro.index.base import NVMIndex, encode_kv
+from repro.nvm.controller import MemoryController
+
+_LEAF_HEADER = struct.Struct("<BH")  # node type, entry count
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "addr", "next")
+
+    def __init__(self, addr: int) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[bytes] = []
+        self.addr = addr
+        self.next: "_Leaf | None" = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children", "addr")
+
+    def __init__(self, addr: int) -> None:
+        self.keys: list[bytes] = []  # separator keys
+        self.children: list = []
+        self.addr = addr
+
+
+class BPlusTree(NVMIndex):
+    """Sorted-leaf B+-tree; node size equals the device segment size."""
+
+    name = "b+tree"
+
+    def __init__(self, controller: MemoryController, values=None) -> None:
+        super().__init__(controller, values)
+        self.node_size = controller.segment_size
+        self._alloc = SegmentAllocator(controller)
+        self._root = _Leaf(self._alloc.allocate())
+        self._write_leaf(self._root)
+
+    # ------------------------------------------------------------ operations
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.record_data(key, value)
+        stored = self.values.store(value)
+        leaf, path = self._descend(key)
+        idx = self._lower_bound(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            self.values.release(leaf.values[idx])
+            leaf.values[idx] = stored
+        else:
+            leaf.keys.insert(idx, key)
+            leaf.values.insert(idx, stored)
+        self._write_leaf_or_split(leaf, path)
+
+    def get(self, key: bytes) -> bytes | None:
+        leaf, _ = self._descend(key)
+        idx = self._lower_bound(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            # Touch the media for the read, then decode from the mirror.
+            self.controller.read(leaf.addr, self.node_size)
+            return self.values.load(self.controller, leaf.values[idx])
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        leaf, _ = self._descend(key)
+        idx = self._lower_bound(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        self.values.release(leaf.values[idx])
+        del leaf.keys[idx]
+        del leaf.values[idx]
+        self._write_leaf(leaf)
+        return True
+
+    def items(self):
+        """All (key, value) pairs in key order (DRAM traversal)."""
+        leaf = self._leftmost()
+        while leaf is not None:
+            for key, stored in zip(leaf.keys, leaf.values):
+                yield key, self.values.load(self.controller, stored)
+            leaf = leaf.next
+
+    def __len__(self) -> int:
+        return sum(len(leaf.keys) for leaf in self._leaves())
+
+    # -------------------------------------------------------------- internals
+
+    def _descend(self, key: bytes):
+        path: list[_Inner] = []
+        node = self._root
+        while isinstance(node, _Inner):
+            path.append(node)
+            idx = self._upper_bound(node.keys, key)
+            node = node.children[idx]
+        return node, path
+
+    def _write_leaf_or_split(self, leaf: _Leaf, path: list[_Inner]) -> None:
+        if self._leaf_bytes(leaf) <= self.node_size:
+            self._write_leaf(leaf)
+            return
+        # Split: move the upper half into a fresh leaf.
+        mid = len(leaf.keys) // 2
+        right = _Leaf(self._alloc.allocate())
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next = right
+        self._write_leaf(leaf)
+        self._write_leaf(right)
+        self._insert_separator(path, right.keys[0], leaf, right)
+
+    def _insert_separator(
+        self, path: list[_Inner], sep: bytes, left, right
+    ) -> None:
+        if not path:
+            root = _Inner(self._alloc.allocate())
+            root.keys = [sep]
+            root.children = [left, right]
+            self._root = root
+            self._write_inner(root)
+            return
+        parent = path[-1]
+        idx = self._upper_bound(parent.keys, sep)
+        parent.keys.insert(idx, sep)
+        parent.children.insert(idx + 1, right)
+        if self._inner_bytes(parent) <= self.node_size:
+            self._write_inner(parent)
+            return
+        mid = len(parent.keys) // 2
+        up = parent.keys[mid]
+        new_inner = _Inner(self._alloc.allocate())
+        new_inner.keys = parent.keys[mid + 1 :]
+        new_inner.children = parent.children[mid + 1 :]
+        parent.keys = parent.keys[:mid]
+        parent.children = parent.children[: mid + 1]
+        self._write_inner(parent)
+        self._write_inner(new_inner)
+        self._insert_separator(path[:-1], up, parent, new_inner)
+
+    def _leaf_bytes(self, leaf: _Leaf) -> int:
+        return _LEAF_HEADER.size + sum(
+            4 + len(k) + len(v) for k, v in zip(leaf.keys, leaf.values)
+        )
+
+    def _inner_bytes(self, inner: _Inner) -> int:
+        return (
+            _LEAF_HEADER.size
+            + sum(2 + len(k) for k in inner.keys)
+            + 8 * len(inner.children)
+        )
+
+    def _write_leaf(self, leaf: _Leaf) -> None:
+        body = b"".join(
+            encode_kv(k, v) for k, v in zip(leaf.keys, leaf.values)
+        )
+        image = _LEAF_HEADER.pack(0, len(leaf.keys)) + body
+        self.controller.write(leaf.addr, image.ljust(self.node_size, b"\x00"))
+
+    def _write_inner(self, inner: _Inner) -> None:
+        parts = [_LEAF_HEADER.pack(1, len(inner.keys))]
+        for key in inner.keys:
+            parts.append(struct.pack("<H", len(key)) + key)
+        for child in inner.children:
+            parts.append(struct.pack("<Q", child.addr))
+        image = b"".join(parts)
+        self.controller.write(inner.addr, image.ljust(self.node_size, b"\x00"))
+
+    def _leftmost(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        return node
+
+    def _leaves(self):
+        leaf = self._leftmost()
+        while leaf is not None:
+            yield leaf
+            leaf = leaf.next
+
+    @staticmethod
+    def _lower_bound(keys: list[bytes], key: bytes) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @staticmethod
+    def _upper_bound(keys: list[bytes], key: bytes) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

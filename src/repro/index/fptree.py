@@ -1,0 +1,217 @@
+"""FP-Tree — Oukid et al., SIGMOD 2016 [45].
+
+A hybrid SCM-DRAM B-tree: inner nodes live in DRAM (rebuilt on recovery),
+persistent *leaf* nodes keep entries **unsorted** with a slot bitmap and a
+one-byte fingerprint per slot.  Inserts write one slot plus the small
+header, so — unlike the sorted B+-tree — no entries shift and the bit-flip
+cost per insert stays near the payload size.
+
+Leaf layout within one NVM segment::
+
+    [bitmap: slots bytes][fingerprints: slots bytes][slot 0][slot 1]...
+
+(each bitmap byte is one slot's validity flag; a byte per flag keeps slot
+writes segment-aligned and models the persisted-bitmap update).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.index.alloc import SegmentAllocator
+from repro.index.base import NVMIndex, encode_kv
+from repro.nvm.controller import MemoryController
+
+
+def _fingerprint(key: bytes) -> int:
+    """One-byte key fingerprint, as in the FP-Tree paper."""
+    return hashlib.blake2b(key, digest_size=1).digest()[0]
+
+
+class _Leaf:
+    __slots__ = ("addr", "bitmap", "fingerprints", "keys", "values")
+
+    def __init__(self, addr: int, slots: int) -> None:
+        self.addr = addr
+        self.bitmap = [False] * slots
+        self.fingerprints = [0] * slots
+        self.keys: list[bytes | None] = [None] * slots
+        self.values: list[bytes | None] = [None] * slots
+
+
+class FPTree(NVMIndex):
+    """Fingerprinting persistent tree with unsorted slotted leaves.
+
+    Args:
+        controller: NVM for the leaves.
+        values: value-store strategy.
+        slots: entries per leaf.
+        slot_size: fixed byte size reserved per entry (key + stored value +
+            4-byte lengths must fit).
+    """
+
+    name = "fp-tree"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        values=None,
+        slots: int = 16,
+        slot_size: int | None = None,
+    ) -> None:
+        super().__init__(controller, values)
+        self.slots = slots
+        header = 2 * slots
+        available = controller.segment_size - header
+        self.slot_size = slot_size or available // slots
+        if self.slot_size <= 8 or header + slots * self.slot_size > controller.segment_size:
+            raise ValueError(
+                f"{slots} slots of {self.slot_size} bytes do not fit a "
+                f"{controller.segment_size}-byte segment"
+            )
+        self._alloc = SegmentAllocator(controller)
+        first = _Leaf(self._alloc.allocate(), slots)
+        # DRAM inner structure: sorted list of (smallest key, leaf).
+        self._leaves: list[_Leaf] = [first]
+        self._split_keys: list[bytes] = []  # len(self._leaves) - 1 separators
+
+    # ------------------------------------------------------------ operations
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.record_data(key, value)
+        stored = self.values.store(value)
+        entry = encode_kv(key, stored)
+        if len(entry) > self.slot_size:
+            raise ValueError(
+                f"entry of {len(entry)} bytes exceeds slot size {self.slot_size}"
+            )
+        leaf = self._locate(key)
+        fp = _fingerprint(key)
+        existing = self._find_slot(leaf, key, fp)
+        free = self._free_slot(leaf)
+        if free is None:
+            self._split(leaf)
+            self.put_stored(key, stored, entry)
+            return
+        # Out-of-place slot write, then the header commit (bitmap + fp).
+        self._write_slot(leaf, free, entry, key, stored, fp)
+        if existing is not None:
+            self.values.release(leaf.values[existing])
+            leaf.bitmap[existing] = False
+            leaf.keys[existing] = None
+            leaf.values[existing] = None
+        self._write_header(leaf)
+
+    def put_stored(self, key: bytes, stored: bytes, entry: bytes) -> None:
+        """Re-drive an insert whose value bytes were already stored
+        (used after a split so plugged values are not written twice)."""
+        leaf = self._locate(key)
+        fp = _fingerprint(key)
+        existing = self._find_slot(leaf, key, fp)
+        free = self._free_slot(leaf)
+        if free is None:
+            self._split(leaf)
+            self.put_stored(key, stored, entry)
+            return
+        self._write_slot(leaf, free, entry, key, stored, fp)
+        if existing is not None:
+            self.values.release(leaf.values[existing])
+            leaf.bitmap[existing] = False
+            leaf.keys[existing] = None
+            leaf.values[existing] = None
+        self._write_header(leaf)
+
+    def get(self, key: bytes) -> bytes | None:
+        leaf = self._locate(key)
+        idx = self._find_slot(leaf, key, _fingerprint(key))
+        if idx is None:
+            return None
+        self.controller.read(self._slot_addr(leaf, idx), self.slot_size)
+        return self.values.load(self.controller, leaf.values[idx])
+
+    def delete(self, key: bytes) -> bool:
+        leaf = self._locate(key)
+        idx = self._find_slot(leaf, key, _fingerprint(key))
+        if idx is None:
+            return False
+        self.values.release(leaf.values[idx])
+        leaf.bitmap[idx] = False
+        leaf.keys[idx] = None
+        leaf.values[idx] = None
+        self._write_header(leaf)
+        return True
+
+    def __len__(self) -> int:
+        return sum(sum(leaf.bitmap) for leaf in self._leaves)
+
+    # -------------------------------------------------------------- internals
+
+    def _locate(self, key: bytes) -> _Leaf:
+        lo, hi = 0, len(self._split_keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._split_keys[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._leaves[lo]
+
+    def _find_slot(self, leaf: _Leaf, key: bytes, fp: int) -> int | None:
+        for i in range(self.slots):
+            if leaf.bitmap[i] and leaf.fingerprints[i] == fp and leaf.keys[i] == key:
+                return i
+        return None
+
+    def _free_slot(self, leaf: _Leaf) -> int | None:
+        for i in range(self.slots):
+            if not leaf.bitmap[i]:
+                return i
+        return None
+
+    def _slot_addr(self, leaf: _Leaf, idx: int) -> int:
+        return leaf.addr + 2 * self.slots + idx * self.slot_size
+
+    def _write_slot(
+        self, leaf: _Leaf, idx: int, entry: bytes, key: bytes, stored: bytes,
+        fp: int,
+    ) -> None:
+        self.controller.write(
+            self._slot_addr(leaf, idx), entry.ljust(self.slot_size, b"\x00")
+        )
+        leaf.bitmap[idx] = True
+        leaf.fingerprints[idx] = fp
+        leaf.keys[idx] = key
+        leaf.values[idx] = stored
+
+    def _write_header(self, leaf: _Leaf) -> None:
+        header = bytes(
+            1 if bit else 0 for bit in leaf.bitmap
+        ) + bytes(leaf.fingerprints)
+        self.controller.write(leaf.addr, header)
+
+    def _split(self, leaf: _Leaf) -> None:
+        live = sorted(
+            (leaf.keys[i], i) for i in range(self.slots) if leaf.bitmap[i]
+        )
+        mid = len(live) // 2
+        split_key = live[mid][0]
+        right = _Leaf(self._alloc.allocate(), self.slots)
+        # Move the upper half into the new leaf.
+        for slot_out, (key, i) in enumerate(live[mid:]):
+            entry = encode_kv(leaf.keys[i], leaf.values[i])
+            self.controller.write(
+                self._slot_addr(right, slot_out),
+                entry.ljust(self.slot_size, b"\x00"),
+            )
+            right.bitmap[slot_out] = True
+            right.fingerprints[slot_out] = leaf.fingerprints[i]
+            right.keys[slot_out] = leaf.keys[i]
+            right.values[slot_out] = leaf.values[i]
+            leaf.bitmap[i] = False
+            leaf.keys[i] = None
+            leaf.values[i] = None
+        self._write_header(right)
+        self._write_header(leaf)
+        pos = self._leaves.index(leaf)
+        self._leaves.insert(pos + 1, right)
+        self._split_keys.insert(pos, split_key)

@@ -1,0 +1,203 @@
+"""NoveLSM — Kannan et al., USENIX ATC 2018 [25]: an LSM redesigned for NVM.
+
+NoveLSM's key idea is a *persistent NVM memtable* that is updated in place,
+skipping the DRAM-memtable serialise-and-flush path for data already in NVM.
+We model it as a slot array on NVM: a key's first insert claims a slot;
+subsequent updates overwrite the same slot in place (the DCW substrate then
+programs only the bytes that changed).  When the memtable fills, its live
+entries are flushed to a sorted run (as in any LSM) and the slots recycle.
+
+In plugged mode the slot stores a pointer and E2-NVM places the value.
+"""
+
+from __future__ import annotations
+
+from repro.index.alloc import SegmentAllocator
+from repro.index.base import NVMIndex, encode_kv
+from repro.nvm.controller import MemoryController
+
+_TOMBSTONE = object()
+
+
+class NoveLSMStore(NVMIndex):
+    """LSM with an in-place-updated persistent NVM memtable.
+
+    Args:
+        controller: device holding the memtable slots and the runs.
+        values: value-store strategy.
+        memtable_slots: capacity of the NVM memtable.
+        slot_size: fixed bytes per memtable slot.
+        max_runs: runs allowed before a full compaction.
+    """
+
+    name = "novelsm"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        values=None,
+        memtable_slots: int = 64,
+        slot_size: int = 64,
+        max_runs: int = 4,
+    ) -> None:
+        super().__init__(controller, values)
+        if slot_size > controller.segment_size or controller.segment_size % slot_size:
+            raise ValueError("slot_size must evenly divide the segment size")
+        self.memtable_slots = memtable_slots
+        self.slot_size = slot_size
+        self.max_runs = max_runs
+        slots_per_segment = controller.segment_size // slot_size
+        self._memtable_segments = -(-memtable_slots // slots_per_segment)
+        if self._memtable_segments >= controller.n_segments:
+            raise ValueError("device too small for the memtable")
+        self._slot_of: dict[bytes, int] = {}
+        self._free_slots = list(range(memtable_slots))
+        self._slot_entry: dict[int, tuple[bytes, object]] = {}
+        self._runs: list[dict[bytes, object]] = []
+        self._run_segments: list[list[int]] = []
+        self._alloc = SegmentAllocator(
+            controller, start_segment=self._memtable_segments
+        )
+
+    # ------------------------------------------------------------ operations
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.record_data(key, value)
+        stored = self.values.store(value)
+        entry = encode_kv(key, stored)
+        if len(entry) > self.slot_size:
+            raise ValueError(
+                f"entry of {len(entry)} bytes exceeds slot size {self.slot_size}"
+            )
+        slot = self._slot_of.get(key)
+        if slot is None:
+            if self.values.plugged:
+                old = self._run_pointer(key)
+                if old is not None:
+                    self.values.release(old)
+            if not self._free_slots:
+                self._flush()
+            slot = self._free_slots.pop()
+            self._slot_of[key] = slot
+        else:
+            old = self._slot_entry[slot][1]
+            if old is not _TOMBSTONE and self.values.plugged:
+                self.values.release(old)
+        # In-place overwrite of the slot: the differential write programs
+        # only the changed bytes — NoveLSM's core saving.
+        self.controller.write(
+            self._slot_addr(slot), entry.ljust(self.slot_size, b"\x00")
+        )
+        self._slot_entry[slot] = (key, stored)
+
+    def get(self, key: bytes) -> bytes | None:
+        slot = self._slot_of.get(key)
+        if slot is not None:
+            _, stored = self._slot_entry[slot]
+            if stored is _TOMBSTONE:
+                return None
+            self.controller.read(self._slot_addr(slot), self.slot_size)
+            return self.values.load(self.controller, stored)
+        for run in reversed(self._runs):
+            if key in run:
+                stored = run[key]
+                if stored is _TOMBSTONE:
+                    return None
+                return self.values.load(self.controller, stored)
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        if self.get(key) is None:
+            return False
+        slot = self._slot_of.get(key)
+        if slot is None:
+            if self.values.plugged:
+                old = self._run_pointer(key)
+                if old is not None:
+                    self.values.release(old)
+            if not self._free_slots:
+                self._flush()
+            slot = self._free_slots.pop()
+            self._slot_of[key] = slot
+        else:
+            _, old = self._slot_entry[slot]
+            if old is not _TOMBSTONE and self.values.plugged:
+                self.values.release(old)
+        self._slot_entry[slot] = (key, _TOMBSTONE)
+        return True
+
+    def _run_pointer(self, key: bytes):
+        """Newest run-resident stored value for ``key`` (None if absent)."""
+        for run in reversed(self._runs):
+            if key in run:
+                stored = run[key]
+                return None if stored is _TOMBSTONE else stored
+        return None
+
+    def __len__(self) -> int:
+        live: dict[bytes, object] = {}
+        for run in self._runs:
+            live.update(run)
+        for key, slot in self._slot_of.items():
+            live[key] = self._slot_entry[slot][1]
+        return sum(1 for v in live.values() if v is not _TOMBSTONE)
+
+    # -------------------------------------------------------------- internals
+
+    def _slot_addr(self, slot: int) -> int:
+        seg_size = self.controller.segment_size
+        slots_per_segment = seg_size // self.slot_size
+        segment = slot // slots_per_segment
+        offset = (slot % slots_per_segment) * self.slot_size
+        return segment * seg_size + offset
+
+    def _flush(self) -> None:
+        """Write the memtable's live entries to a sorted run; free the slots."""
+        entries = {
+            key: self._slot_entry[slot][1]
+            for key, slot in self._slot_of.items()
+        }
+        segments = self._write_run(entries)
+        self._runs.append(entries)
+        self._run_segments.append(segments)
+        self._free_slots = list(range(self.memtable_slots))
+        self._slot_of.clear()
+        self._slot_entry.clear()
+        if len(self._runs) > self.max_runs:
+            self._compact()
+
+    def _write_run(self, entries: dict[bytes, object]) -> list[int]:
+        seg_size = self.controller.segment_size
+        segments: list[int] = []
+        buffer = b""
+        for key in sorted(entries):
+            stored = entries[key]
+            body = stored if stored is not _TOMBSTONE else b""
+            flag = b"\x01" if stored is _TOMBSTONE else b"\x00"
+            record = flag + encode_kv(key, body)
+            if len(buffer) + len(record) > seg_size:
+                segments.append(self._flush_block(buffer))
+                buffer = b""
+            buffer += record
+        if buffer:
+            segments.append(self._flush_block(buffer))
+        return segments
+
+    def _flush_block(self, buffer: bytes) -> int:
+        addr = self._alloc.allocate()
+        self.controller.write(
+            addr, buffer.ljust(self.controller.segment_size, b"\x00")
+        )
+        return addr
+
+    def _compact(self) -> None:
+        merged: dict[bytes, object] = {}
+        for run in self._runs:
+            merged.update(run)
+        for segments in self._run_segments:
+            for segment in segments:
+                self._alloc.free(segment)
+        live = {k: v for k, v in merged.items() if v is not _TOMBSTONE}
+        segments = self._write_run(live)
+        self._runs = [live] if live else []
+        self._run_segments = [segments] if live else []

@@ -1,0 +1,143 @@
+"""Path Hashing — Zuo & Hua, MSST 2017 [54].
+
+A write-friendly NVM hash table: below the root hash level sits an inverted
+complete binary tree of standby cells.  A key hashes to two root positions;
+on collision the insert walks *up* the two paths (each level halves in
+size), claiming the first empty cell.  Collisions therefore never shift or
+rewrite other entries — an insert programs exactly one fixed-size cell.
+
+Cell occupancy/location metadata is mirrored in DRAM; the cell payloads are
+the NVM traffic being measured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.index.base import NVMIndex, encode_kv
+from repro.nvm.controller import MemoryController
+
+
+def _hash(key: bytes, salt: bytes) -> int:
+    digest = hashlib.blake2b(key, key=salt, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class PathHashingTable(NVMIndex):
+    """Path hashing over fixed-size NVM cells.
+
+    Args:
+        controller: NVM backing the cell array.
+        values: value-store strategy.
+        root_cells: width of the bottom (root) hash level; total capacity is
+            about ``2 * root_cells`` across all levels.
+        levels: path length (number of standby levels above the root).
+        cell_size: fixed bytes per cell (must fit the largest entry).
+    """
+
+    name = "path-hashing"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        values=None,
+        root_cells: int = 256,
+        levels: int = 4,
+        cell_size: int = 64,
+    ) -> None:
+        super().__init__(controller, values)
+        if root_cells < 2 or levels < 1:
+            raise ValueError("need root_cells >= 2 and levels >= 1")
+        if cell_size > controller.segment_size or controller.segment_size % cell_size:
+            raise ValueError("cell_size must evenly divide the segment size")
+        self.cell_size = cell_size
+        self.levels = levels
+        # Level l has root_cells >> l cells; level 0 is the root level.
+        self._level_sizes = [max(1, root_cells >> l) for l in range(levels + 1)]
+        self._level_offsets = []
+        offset = 0
+        for size in self._level_sizes:
+            self._level_offsets.append(offset)
+            offset += size
+        total_cells = offset
+        needed = total_cells * cell_size
+        if needed > controller.n_segments * controller.segment_size:
+            raise ValueError("device too small for the requested table")
+        # DRAM mirror of cell state.
+        self._keys: list[bytes | None] = [None] * total_cells
+        self._stored: list[bytes | None] = [None] * total_cells
+
+    # ------------------------------------------------------------ operations
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.record_data(key, value)
+        stored = self.values.store(value)
+        entry = encode_kv(key, stored)
+        if len(entry) > self.cell_size:
+            raise ValueError(
+                f"entry of {len(entry)} bytes exceeds cell size {self.cell_size}"
+            )
+        existing = self._find(key)
+        if existing is not None:
+            self.values.release(self._stored[existing])
+            self._write_cell(existing, entry, key, stored)
+            return
+        for cell in self._candidate_cells(key):
+            if self._keys[cell] is None:
+                self._write_cell(cell, entry, key, stored)
+                return
+        raise RuntimeError("path hashing table is full on both paths")
+
+    def get(self, key: bytes) -> bytes | None:
+        cell = self._find(key)
+        if cell is None:
+            return None
+        self.controller.read(self._cell_addr(cell), self.cell_size)
+        return self.values.load(self.controller, self._stored[cell])
+
+    def delete(self, key: bytes) -> bool:
+        cell = self._find(key)
+        if cell is None:
+            return False
+        self.values.release(self._stored[cell])
+        self._keys[cell] = None
+        self._stored[cell] = None
+        return True
+
+    def __len__(self) -> int:
+        return sum(1 for key in self._keys if key is not None)
+
+    @property
+    def capacity(self) -> int:
+        """Total cells across every level."""
+        return len(self._keys)
+
+    # -------------------------------------------------------------- internals
+
+    def _candidate_cells(self, key: bytes):
+        """The 2·(levels+1) cells on the key's two paths, root first."""
+        for salt in (b"path-h1", b"path-h2"):
+            pos = _hash(key, salt) % self._level_sizes[0]
+            for level in range(self.levels + 1):
+                level_pos = pos >> level
+                if level_pos >= self._level_sizes[level]:
+                    level_pos = self._level_sizes[level] - 1
+                yield self._level_offsets[level] + level_pos
+
+    def _find(self, key: bytes) -> int | None:
+        for cell in self._candidate_cells(key):
+            if self._keys[cell] == key:
+                return cell
+        return None
+
+    def _cell_addr(self, cell: int) -> int:
+        return cell * self.cell_size
+
+    def _write_cell(
+        self, cell: int, entry: bytes, key: bytes, stored: bytes
+    ) -> None:
+        self.controller.write(
+            self._cell_addr(cell), entry.ljust(self.cell_size, b"\x00")
+        )
+        self._keys[cell] = key
+        self._stored[cell] = stored

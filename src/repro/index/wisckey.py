@@ -1,0 +1,207 @@
+"""WiscKey — Lu et al., TOS 2017 [35]: key/value separation.
+
+Keys and small pointers live in an LSM tree; values are appended to a
+separate value log (vLog).  Appends land on fresh (previously reclaimed)
+media, so a value's flip cost is whatever differs from the stale bytes
+there; sorted runs of (key, pointer) pairs are flushed from the DRAM
+memtable and merged by compaction.
+
+Layout on the structure's device: the first ``vlog_segments`` segments are
+the circular vLog; the rest hold serialised sorted runs.  In plugged mode
+the vLog is bypassed entirely — E2-NVM places each value instead.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.index.alloc import SegmentAllocator
+from repro.index.base import NVMIndex, encode_kv
+from repro.nvm.controller import MemoryController
+
+_TOMBSTONE = object()
+
+
+class _Run:
+    """A sorted immutable (key -> pointer) run with its NVM segments."""
+
+    __slots__ = ("keys", "pointers", "segments")
+
+    def __init__(self, keys, pointers, segments) -> None:
+        self.keys = keys
+        self.pointers = pointers
+        self.segments = segments
+
+    def get(self, key: bytes):
+        lo, hi = 0, len(self.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.keys) and self.keys[lo] == key:
+            return self.pointers[lo]
+        return None
+
+
+class WiscKeyStore(NVMIndex):
+    """LSM with key/value separation.
+
+    Args:
+        controller: device holding the vLog and the key runs.
+        values: value-store strategy; plugged mode replaces the vLog.
+        vlog_segments: segments reserved for the circular value log.
+        memtable_limit: entries buffered in DRAM before a flush.
+        max_runs: runs allowed before a full compaction.
+    """
+
+    name = "wisckey"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        values=None,
+        vlog_segments: int = 16,
+        memtable_limit: int = 64,
+        max_runs: int = 4,
+    ) -> None:
+        super().__init__(controller, values)
+        if vlog_segments >= controller.n_segments:
+            raise ValueError("vlog_segments must leave room for key runs")
+        self.vlog_segments = vlog_segments
+        self.memtable_limit = memtable_limit
+        self.max_runs = max_runs
+        self._vlog_head = 0  # byte offset within the vLog region
+        self._vlog_capacity = vlog_segments * controller.segment_size
+        self._memtable: dict[bytes, object] = {}
+        self._runs: list[_Run] = []
+        self._alloc = SegmentAllocator(controller, start_segment=vlog_segments)
+
+    # ------------------------------------------------------------ operations
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.record_data(key, value)
+        if self.values.plugged:
+            old = self._live_pointer(key)
+            if old is not None:
+                self.values.release(old)
+            pointer = self.values.store(value)
+        else:
+            pointer = self._vlog_append(key, value)
+        self._memtable[key] = pointer
+        if len(self._memtable) >= self.memtable_limit:
+            self._flush()
+
+    def get(self, key: bytes) -> bytes | None:
+        pointer = self._live_pointer(key)
+        if pointer is None:
+            return None
+        return self._load_value(pointer)
+
+    def delete(self, key: bytes) -> bool:
+        pointer = self._live_pointer(key)
+        if pointer is None:
+            return False
+        if self.values.plugged:
+            self.values.release(pointer)
+        self._memtable[key] = _TOMBSTONE
+        if len(self._memtable) >= self.memtable_limit:
+            self._flush()
+        return True
+
+    def _live_pointer(self, key: bytes):
+        """The newest pointer for ``key``, or None if absent/tombstoned."""
+        pointer = self._memtable.get(key)
+        if pointer is None:
+            for run in reversed(self._runs):
+                pointer = run.get(key)
+                if pointer is not None:
+                    break
+        if pointer is None or pointer is _TOMBSTONE:
+            return None
+        return pointer
+
+    def __len__(self) -> int:
+        live = {}
+        for run in self._runs:
+            for key, pointer in zip(run.keys, run.pointers):
+                live[key] = pointer
+        live.update(self._memtable)
+        return sum(1 for p in live.values() if p is not _TOMBSTONE)
+
+    # -------------------------------------------------------------- internals
+
+    def _vlog_append(self, key: bytes, value: bytes) -> bytes:
+        """Append the (key, value) record to the circular log; returns an
+        (address, length) pointer to the value bytes."""
+        record = encode_kv(key, value)
+        seg_size = self.controller.segment_size
+        if len(record) > seg_size:
+            raise ValueError("vLog record exceeds one segment")
+        # Records never straddle segments; skip to the next one if needed.
+        room = seg_size - (self._vlog_head % seg_size)
+        if len(record) > room:
+            self._vlog_head += room
+        if self._vlog_head + len(record) > self._vlog_capacity:
+            self._vlog_head = 0  # wrap (stale bytes get overwritten)
+        addr = self._vlog_head
+        self.controller.write(addr, record)
+        self._vlog_head += len(record)
+        value_addr = addr + 4 + len(key)
+        return struct.pack("<QI", value_addr, len(value))
+
+    def _load_value(self, pointer: bytes) -> bytes:
+        if self.values.plugged:
+            return self.values.load(self.controller, pointer)
+        addr, length = struct.unpack("<QI", pointer)
+        return self.controller.read(addr, length)
+
+    def _flush(self) -> None:
+        if not self._memtable:
+            return
+        keys = sorted(self._memtable)
+        pointers = [self._memtable[k] for k in keys]
+        segments = self._write_run(keys, pointers)
+        self._runs.append(_Run(keys, pointers, segments))
+        self._memtable = {}
+        if len(self._runs) > self.max_runs:
+            self._compact()
+
+    def _write_run(self, keys, pointers) -> list[int]:
+        """Serialise (key, pointer) pairs into fresh run segments."""
+        seg_size = self.controller.segment_size
+        segments: list[int] = []
+        buffer = b""
+        for key, pointer in zip(keys, pointers):
+            body = pointer if pointer is not _TOMBSTONE else b""
+            flag = b"\x01" if pointer is _TOMBSTONE else b"\x00"
+            record = flag + encode_kv(key, body)
+            if len(buffer) + len(record) > seg_size:
+                segments.append(self._flush_block(buffer))
+                buffer = b""
+            buffer += record
+        if buffer:
+            segments.append(self._flush_block(buffer))
+        return segments
+
+    def _flush_block(self, buffer: bytes) -> int:
+        addr = self._alloc.allocate()
+        self.controller.write(
+            addr, buffer.ljust(self.controller.segment_size, b"\x00")
+        )
+        return addr
+
+    def _compact(self) -> None:
+        """Merge every run (newest wins), dropping tombstones."""
+        merged: dict[bytes, object] = {}
+        for run in self._runs:
+            for key, pointer in zip(run.keys, run.pointers):
+                merged[key] = pointer
+        for run in self._runs:
+            for segment in run.segments:
+                self._alloc.free(segment)
+        keys = sorted(k for k, p in merged.items() if p is not _TOMBSTONE)
+        pointers = [merged[k] for k in keys]
+        segments = self._write_run(keys, pointers)
+        self._runs = [_Run(keys, pointers, segments)] if keys else []

@@ -1,0 +1,73 @@
+"""Elementwise activations with explicit forward/backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Identity:
+    """f(x) = x."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class ReLU:
+    """f(x) = max(0, x)."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return grad_out * (out > 0.0)
+
+
+class Sigmoid:
+    """f(x) = 1 / (1 + e^-x), computed stably for large |x|."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def backward(self, grad_out: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return grad_out * out * (1.0 - out)
+
+
+class Tanh:
+    """f(x) = tanh(x)."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, grad_out: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - out * out)
+
+
+_ACTIVATIONS = {cls.name: cls for cls in (Identity, ReLU, Sigmoid, Tanh)}
+
+
+def get_activation(name):
+    """Resolve an activation by name or pass an instance through."""
+    if isinstance(name, str):
+        try:
+            return _ACTIVATIONS[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+            ) from None
+    return name

@@ -1,0 +1,39 @@
+"""Batching and splitting helpers for the training loops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import rng_from_seed
+
+
+def train_val_split(
+    X: np.ndarray,
+    val_fraction: float = 0.1,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffle and split rows of ``X`` into (train, validation)."""
+    if not 0.0 <= val_fraction < 1.0:
+        raise ValueError("val_fraction must be in [0, 1)")
+    rng = rng_from_seed(seed)
+    order = rng.permutation(len(X))
+    n_val = int(round(len(X) * val_fraction))
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    return X[train_idx], X[val_idx]
+
+
+def iterate_minibatches(
+    X: np.ndarray,
+    batch_size: int,
+    seed: int | np.random.Generator | None = None,
+    shuffle: bool = True,
+):
+    """Yield row mini-batches of ``X``; the final batch may be short."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    n = len(X)
+    order = np.arange(n)
+    if shuffle:
+        rng_from_seed(seed).shuffle(order)
+    for start in range(0, n, batch_size):
+        yield X[order[start : start + batch_size]]

@@ -1,0 +1,69 @@
+"""Fully-connected layer with cached-input backprop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.activations import ReLU, get_activation
+from repro.util.rng import rng_from_seed
+
+
+class Dense:
+    """An affine layer ``y = act(x @ W + b)``.
+
+    Weights use He initialisation for ReLU-family activations and Xavier
+    otherwise.  ``forward`` caches what ``backward`` needs; gradients
+    accumulate into ``grad_W`` / ``grad_b`` until :meth:`zero_grad`.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation="identity",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("layer dimensions must be positive")
+        rng = rng_from_seed(seed)
+        self.activation = get_activation(activation)
+        scale = np.sqrt(
+            (2.0 if isinstance(self.activation, ReLU) else 1.0) / in_dim
+        )
+        self.W = rng.normal(0.0, scale, size=(in_dim, out_dim)).astype(np.float64)
+        self.b = np.zeros(out_dim, dtype=np.float64)
+        self.grad_W = np.zeros_like(self.W)
+        self.grad_b = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute activations for a batch ``x`` of shape (B, in_dim)."""
+        self._x = x
+        pre = x @ self.W + self.b
+        self._out = self.activation.forward(pre)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop ``grad_out`` (B, out_dim); returns gradient w.r.t. input."""
+        if self._x is None or self._out is None:
+            raise RuntimeError("backward called before forward")
+        grad_pre = self.activation.backward(grad_out, self._out)
+        self.grad_W += self._x.T @ grad_pre
+        self.grad_b += grad_pre.sum(axis=0)
+        return grad_pre @ self.W.T
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients."""
+        self.grad_W[:] = 0.0
+        self.grad_b[:] = 0.0
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        """Trainable arrays, paired index-wise with :attr:`grads`."""
+        return [self.W, self.b]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        """Accumulated gradients, paired index-wise with :attr:`params`."""
+        return [self.grad_W, self.grad_b]

@@ -1,0 +1,45 @@
+"""Clustering quality metrics: SSE (Equation 1) and the elbow method.
+
+The paper selects the number of clusters K with the elbow method [26, 38,
+50]: sweep K, compute the Sum of Squared Error, and pick the K where the SSE
+curve bends.  We detect the bend with the maximum-distance-to-chord rule
+(a.k.a. the "kneedle" criterion), which finds the point farthest from the
+straight line joining the curve's endpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sum_squared_error(X: np.ndarray, labels: np.ndarray, centers: np.ndarray) -> float:
+    """SSE(X, Π) = Σ_i Σ_{x_j ∈ C_i} ‖x_j − m_i‖² (the paper's Equation 1)."""
+    X = np.asarray(X, dtype=np.float64)
+    labels = np.asarray(labels)
+    centers = np.asarray(centers, dtype=np.float64)
+    diffs = X - centers[labels]
+    return float(np.einsum("ij,ij->", diffs, diffs))
+
+
+def elbow_k(ks, sse_values) -> int:
+    """Return the K at the elbow of an SSE-vs-K curve.
+
+    Uses the maximum perpendicular distance from the (normalised) curve to
+    the chord joining its first and last points.
+    """
+    ks = np.asarray(list(ks), dtype=np.float64)
+    sse = np.asarray(list(sse_values), dtype=np.float64)
+    if ks.size != sse.size or ks.size < 3:
+        raise ValueError("need at least 3 (k, sse) points to find an elbow")
+    # Normalise both axes to [0, 1] so the distances are scale-free.
+    x = (ks - ks.min()) / max(ks.max() - ks.min(), 1e-12)
+    y = (sse - sse.min()) / max(sse.max() - sse.min(), 1e-12)
+    x0, y0 = x[0], y[0]
+    x1, y1 = x[-1], y[-1]
+    norm = np.hypot(x1 - x0, y1 - y0)
+    if norm < 1e-12:
+        return int(ks[0])
+    distances = np.abs(
+        (y1 - y0) * x - (x1 - x0) * y + x1 * y0 - y1 * x0
+    ) / norm
+    return int(ks[int(distances.argmax())])

@@ -1,0 +1,71 @@
+"""Principal component analysis via singular value decomposition.
+
+Used by the PNW baseline [26], which pairs PCA with K-means to cope with
+high-dimensional inputs; the paper's Figure 4 shows the information loss this
+costs relative to the VAE's learned representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """Linear projection onto the top ``n_components`` principal directions."""
+
+    def __init__(self, n_components: int) -> None:
+        if n_components <= 0:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        """Learn the projection from the rows of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or len(X) < 2:
+            raise ValueError("X must be 2D with at least 2 rows")
+        k = min(self.n_components, X.shape[1], len(X))
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        n, d = centered.shape
+        if d > 2 * n:
+            # Tall-feature case: eigendecompose the n x n Gram matrix
+            # instead of running SVD on the n x d matrix directly.
+            gram = centered @ centered.T
+            eigvals, eigvecs = np.linalg.eigh(gram)
+            order = np.argsort(eigvals)[::-1]
+            eigvals = np.maximum(eigvals[order], 0.0)
+            eigvecs = eigvecs[:, order]
+            s = np.sqrt(eigvals)
+            nonzero = s > 1e-12
+            vt = np.zeros((len(s), d))
+            vt[nonzero] = (eigvecs[:, nonzero] / s[nonzero]).T @ centered
+        else:
+            _, s, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[:k]
+        var = (s**2) / max(len(X) - 1, 1)
+        total = var.sum()
+        self.explained_variance_ratio_ = (
+            var[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project rows of ``X`` into the component space."""
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("transform called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return its projection."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        """Map projections back to the (approximate) original space."""
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("inverse_transform called before fit")
+        Z = np.atleast_2d(np.asarray(Z, dtype=np.float64))
+        return Z @ self.components_ + self.mean_

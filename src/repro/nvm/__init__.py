@@ -1,0 +1,39 @@
+"""Simulated NVM substrate.
+
+This package models a phase-change-memory (PCM / Optane-like) device at bit
+granularity, replacing the real Optane PMem + PMDK + perf/RAPL stack used in
+the paper:
+
+- :mod:`repro.nvm.device` — the media itself: content bytes, per-segment write
+  counters, optional per-bit programming (wear) counters.
+- :mod:`repro.nvm.energy` / :mod:`repro.nvm.latency` — analytic per-operation
+  energy and latency models, calibrated to the paper's Figure 1 (identical
+  overwrites save ~56% energy versus fully-random overwrites).
+- :mod:`repro.nvm.wear_leveling` — segment-swap wear leveling with period ψ
+  (Figure 2) and start-gap rotation.
+- :mod:`repro.nvm.controller` — the memory controller that applies a write
+  scheme (DCW, FNW, ...) plus wear leveling to every access.
+"""
+
+from repro.nvm.device import NVMDevice, WriteResult
+from repro.nvm.energy import EnergyModel
+from repro.nvm.latency import LatencyModel
+from repro.nvm.stats import DeviceStats
+from repro.nvm.wear_leveling import (
+    NoWearLeveling,
+    SegmentSwapWearLeveling,
+    StartGapWearLeveling,
+)
+from repro.nvm.controller import MemoryController
+
+__all__ = [
+    "NVMDevice",
+    "WriteResult",
+    "EnergyModel",
+    "LatencyModel",
+    "DeviceStats",
+    "MemoryController",
+    "NoWearLeveling",
+    "SegmentSwapWearLeveling",
+    "StartGapWearLeveling",
+]

@@ -1,0 +1,114 @@
+"""Memory controller: write scheme + wear leveling over the raw device.
+
+The controller is the boundary the paper draws in Figure 3 between software
+(E2-NVM, the data index) and hardware (the NVM device with its proprietary
+wear leveling).  Every access flows through:
+
+1. logical→physical segment remapping (wear leveling);
+2. the configured write scheme (DCW by default — real Optane controllers
+   perform data-comparison writes at cache-line granularity);
+3. the raw media (:class:`repro.nvm.NVMDevice`).
+
+Accesses must stay within one segment, which matches how the storage layer
+above allocates: one value per fixed-size segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import WriteScheme
+from repro.baselines.dcw import DCW
+from repro.nvm.device import NVMDevice, WriteResult
+from repro.nvm.wear_leveling import NoWearLeveling
+
+
+class MemoryController:
+    """Front-end for all NVM accesses.
+
+    Args:
+        device: the raw simulated media.
+        scheme: controller write scheme; defaults to :class:`DCW`.
+        wear_leveling: segment remapping policy; defaults to none.
+    """
+
+    def __init__(
+        self,
+        device: NVMDevice,
+        scheme: WriteScheme | None = None,
+        wear_leveling=None,
+    ) -> None:
+        self.device = device
+        self.scheme = scheme if scheme is not None else DCW()
+        self.wear_leveling = wear_leveling or NoWearLeveling()
+        self.wear_leveling.attach(device)
+
+    @property
+    def segment_size(self) -> int:
+        """Placement granularity, forwarded from the device."""
+        return self.device.segment_size
+
+    @property
+    def n_segments(self) -> int:
+        """Logical segment count (wear leveling may reserve spares)."""
+        if hasattr(self.wear_leveling, "logical_segments"):
+            return self.wear_leveling.logical_segments
+        return self.device.n_segments
+
+    @property
+    def stats(self):
+        """The device's cumulative activity counters."""
+        return self.device.stats
+
+    def write(self, logical_addr: int, data: bytes | np.ndarray) -> WriteResult:
+        """Write ``data`` at ``logical_addr`` through the scheme."""
+        data = self._as_u8(data)
+        phys_addr, segment = self._map(logical_addr, data.size)
+        old_stored = self.device.read_array(phys_addr, data.size)
+        plan = self.scheme.prepare(logical_addr, old_stored, data)
+        result = self.device.program(
+            phys_addr, plan.stored, plan.program_mask, plan.aux_bits
+        )
+        self.wear_leveling.after_write(self.device, segment)
+        return result
+
+    def read(self, logical_addr: int, length: int) -> bytes:
+        """Read ``length`` logical bytes from ``logical_addr``."""
+        phys_addr, _ = self._map(logical_addr, length)
+        stored = self.device.read_array(phys_addr, length)
+        return self.scheme.decode(logical_addr, stored).tobytes()
+
+    def peek(self, logical_addr: int, length: int) -> np.ndarray:
+        """Unaccounted decoded read (tooling/tests/model training snapshots)."""
+        phys_addr, _ = self._map(logical_addr, length)
+        stored = self.device.peek(phys_addr, length)
+        return np.asarray(self.scheme.decode(logical_addr, stored), dtype=np.uint8)
+
+    def segment_address(self, index: int) -> int:
+        """Logical byte address of logical segment ``index``."""
+        if not 0 <= index < self.n_segments:
+            raise IndexError(f"logical segment {index} out of range")
+        return index * self.device.segment_size
+
+    def _map(self, logical_addr: int, length: int) -> tuple[int, int]:
+        size = self.device.segment_size
+        segment = logical_addr // size
+        offset = logical_addr % size
+        if offset + length > size:
+            raise ValueError(
+                f"access of {length} bytes at offset {offset} crosses the "
+                f"{size}-byte segment boundary"
+            )
+        if not 0 <= segment < self.n_segments:
+            raise IndexError(f"logical segment {segment} out of range")
+        phys_segment = self.wear_leveling.to_physical(segment)
+        return phys_segment * size + offset, segment
+
+    @staticmethod
+    def _as_u8(data: bytes | np.ndarray) -> np.ndarray:
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            return np.frombuffer(bytes(data), dtype=np.uint8)
+        arr = np.asarray(data)
+        if arr.dtype != np.uint8:
+            raise TypeError("controller data must be uint8 or bytes")
+        return arr

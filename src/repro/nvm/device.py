@@ -1,0 +1,331 @@
+"""Bit-accurate simulated PCM/Optane device.
+
+The device stores raw content as a NumPy ``uint8`` array and exposes a single
+media-level write primitive, :meth:`NVMDevice.program`, which programs an
+explicit set of cells (bits).  Write schemes (DCW, FNW, ...) run above the
+device, in :mod:`repro.baselines`, and decide *which* cells to pulse; the
+device only accounts for the activity:
+
+- ``bits_programmed``: cells that received a SET/RESET pulse (wear + energy);
+- ``bits_flipped``: cells whose stored value actually changed;
+- ``dirty_lines``: cache lines containing at least one programmed cell (the
+  controller skips clean lines, which is where the Figure 1 latency/energy
+  gains come from).
+
+Per-segment write counters are always maintained; per-bit programming
+counters (needed for the Figure 19 wear CDFs) are optional because they cost
+8x the device capacity in counter memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nvm.energy import EnergyModel
+from repro.nvm.latency import LatencyModel
+from repro.nvm.stats import DeviceStats
+from repro.util.bits import POPCOUNT_TABLE
+from repro.util.rng import rng_from_seed
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of one media write."""
+
+    bits_programmed: int
+    bits_flipped: int
+    dirty_lines: int
+    aux_bits: int
+    energy_pj: float
+    latency_ns: float
+
+
+class NVMDevice:
+    """A simulated byte-addressable NVM with ``capacity_bytes`` of media,
+    organised into fixed-size segments.
+
+    Args:
+        capacity_bytes: total media size; must be a positive multiple of
+            ``segment_size``.
+        segment_size: allocation/placement granularity used by the storage
+            layer (the paper's "memory segment").
+        energy_model: cost model for energy accounting.
+        latency_model: cost model for latency accounting.
+        track_bit_wear: maintain a per-bit programming counter (8 counters per
+            byte of capacity) for wear CDF analysis.
+        initial_fill: ``"zero"`` or ``"random"`` initial media content.
+        seed: RNG seed for ``initial_fill="random"``.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        segment_size: int,
+        energy_model: EnergyModel | None = None,
+        latency_model: LatencyModel | None = None,
+        track_bit_wear: bool = False,
+        initial_fill: str = "zero",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if segment_size <= 0:
+            raise ValueError("segment_size must be positive")
+        if capacity_bytes <= 0 or capacity_bytes % segment_size:
+            raise ValueError(
+                "capacity_bytes must be a positive multiple of segment_size"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.segment_size = segment_size
+        self.energy_model = energy_model or EnergyModel()
+        self.latency_model = latency_model or LatencyModel()
+        self.stats = DeviceStats()
+
+        if initial_fill == "zero":
+            self._content = np.zeros(capacity_bytes, dtype=np.uint8)
+        elif initial_fill == "random":
+            rng = rng_from_seed(seed)
+            self._content = rng.integers(
+                0, 256, size=capacity_bytes, dtype=np.uint8
+            )
+        else:
+            raise ValueError(f"unknown initial_fill {initial_fill!r}")
+
+        self.segment_write_count = np.zeros(self.n_segments, dtype=np.int64)
+        self._bit_wear: np.ndarray | None = None
+        if track_bit_wear:
+            self._bit_wear = np.zeros(capacity_bytes * 8, dtype=np.int64)
+
+    @property
+    def n_segments(self) -> int:
+        """Number of fixed-size segments on the device."""
+        return self.capacity_bytes // self.segment_size
+
+    def segment_address(self, index: int) -> int:
+        """Byte address of segment ``index``."""
+        if not 0 <= index < self.n_segments:
+            raise IndexError(f"segment {index} out of range")
+        return index * self.segment_size
+
+    def segment_of(self, addr: int) -> int:
+        """Segment index containing byte address ``addr``."""
+        self._check_range(addr, 1)
+        return addr // self.segment_size
+
+    # ------------------------------------------------------------------ reads
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``addr`` (accounted)."""
+        arr = self.read_array(addr, length)
+        return arr.tobytes()
+
+    def read_array(self, addr: int, length: int) -> np.ndarray:
+        """Read ``length`` bytes as a fresh ``uint8`` array (accounted)."""
+        self._check_range(addr, length)
+        self.stats.reads += 1
+        self.stats.bytes_read += length
+        self.stats.read_energy_pj += self.energy_model.read_energy(length)
+        self.stats.read_latency_ns += self.latency_model.read_latency(length)
+        return self._content[addr : addr + length].copy()
+
+    def peek(self, addr: int, length: int) -> np.ndarray:
+        """Inspect media content without accounting (for tooling/tests)."""
+        self._check_range(addr, length)
+        return self._content[addr : addr + length].copy()
+
+    def peek_segment(self, index: int) -> np.ndarray:
+        """Inspect one segment's content without accounting."""
+        addr = self.segment_address(index)
+        return self._content[addr : addr + self.segment_size].copy()
+
+    # ----------------------------------------------------------------- writes
+
+    def program(
+        self,
+        addr: int,
+        new: np.ndarray | bytes,
+        program_mask: np.ndarray | None = None,
+        aux_bits: int = 0,
+    ) -> WriteResult:
+        """Program cells at ``addr``.
+
+        Args:
+            new: bytes to store (only bits selected by ``program_mask`` take
+                effect).
+            program_mask: ``uint8`` array, same length as ``new``; set bits
+                mark cells that receive a programming pulse.  ``None`` pulses
+                every cell (a naive write-all scheme).
+            aux_bits: scheme metadata cells programmed alongside the data
+                (e.g. FNW flip flags); they add wear/energy but no content.
+
+        Returns:
+            A :class:`WriteResult` with the activity and cost of this write.
+        """
+        new = self._as_u8(new)
+        length = new.size
+        self._check_range(addr, length)
+        if program_mask is None:
+            mask = np.full(length, 0xFF, dtype=np.uint8)
+        else:
+            mask = self._as_u8(program_mask)
+            if mask.size != length:
+                raise ValueError("program_mask length must match data length")
+
+        old = self._content[addr : addr + length]
+        flips_mask = np.bitwise_and(mask, np.bitwise_xor(old, new))
+        bits_programmed = int(POPCOUNT_TABLE[mask].sum())
+        bits_flipped = int(POPCOUNT_TABLE[flips_mask].sum())
+        dirty_lines = self._dirty_lines(addr, mask)
+
+        # Apply: masked bits take the new value, unmasked bits keep the old.
+        self._content[addr : addr + length] = np.bitwise_or(
+            np.bitwise_and(old, np.bitwise_not(mask)),
+            np.bitwise_and(new, mask),
+        )
+
+        energy = self.energy_model.write_energy(
+            length, bits_programmed, dirty_lines, aux_bits
+        )
+        latency = self.latency_model.write_latency(
+            length, bits_programmed + aux_bits, dirty_lines
+        )
+
+        self.stats.writes += 1
+        self.stats.bytes_written += length
+        self.stats.bits_programmed += bits_programmed
+        self.stats.bits_flipped += bits_flipped
+        self.stats.aux_bits_programmed += aux_bits
+        self.stats.dirty_lines_written += dirty_lines
+        self.stats.write_energy_pj += energy
+        self.stats.write_latency_ns += latency
+
+        first_seg = addr // self.segment_size
+        last_seg = (addr + length - 1) // self.segment_size
+        self.segment_write_count[first_seg : last_seg + 1] += 1
+
+        if self._bit_wear is not None and bits_programmed:
+            bit_positions = np.flatnonzero(np.unpackbits(mask))
+            self._bit_wear[addr * 8 + bit_positions] += 1
+
+        return WriteResult(
+            bits_programmed=bits_programmed,
+            bits_flipped=bits_flipped,
+            dirty_lines=dirty_lines,
+            aux_bits=aux_bits,
+            energy_pj=energy,
+            latency_ns=latency,
+        )
+
+    # ------------------------------------------------------------------ wear
+
+    @property
+    def bit_wear(self) -> np.ndarray:
+        """Per-bit programming counters (requires ``track_bit_wear=True``)."""
+        if self._bit_wear is None:
+            raise RuntimeError("device was created with track_bit_wear=False")
+        return self._bit_wear
+
+    def wear_summary(self, endurance: float = 1e8) -> dict:
+        """Endurance snapshot: write/wear spread and remaining lifetime.
+
+        Args:
+            endurance: per-cell write endurance; PCM is 1e8–1e9 (§1).
+
+        Returns a dict with per-segment write statistics, per-bit wear
+        statistics when tracked, and the fraction of the worst cell's
+        endurance consumed.
+        """
+        summary = {
+            "segment_writes_max": int(self.segment_write_count.max()),
+            "segment_writes_mean": float(self.segment_write_count.mean()),
+            "segment_writes_std": float(self.segment_write_count.std()),
+        }
+        if self._bit_wear is not None:
+            worst = int(self._bit_wear.max())
+            summary.update(
+                {
+                    "bit_wear_max": worst,
+                    "bit_wear_mean": float(self._bit_wear.mean()),
+                    "lifetime_consumed": worst / endurance,
+                }
+            )
+        return summary
+
+    def reset_stats(self) -> None:
+        """Zero all aggregate counters (content and wear are kept)."""
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------ snapshots
+
+    def save(self, path) -> None:
+        """Persist media content and wear state to an ``.npz`` snapshot.
+
+        This models the *non-volatility* of the device: a later
+        :meth:`load` resumes with identical content and wear counters.
+        Aggregate stats are transient (they model the measurement session)
+        and are not saved.
+        """
+        arrays = {
+            "content": self._content,
+            "segment_write_count": self.segment_write_count,
+            "geometry": np.array([self.capacity_bytes, self.segment_size]),
+        }
+        if self._bit_wear is not None:
+            arrays["bit_wear"] = self._bit_wear
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        energy_model: EnergyModel | None = None,
+        latency_model: LatencyModel | None = None,
+    ) -> "NVMDevice":
+        """Restore a device from a :meth:`save` snapshot."""
+        with np.load(path) as archive:
+            capacity, segment_size = (int(x) for x in archive["geometry"])
+            device = cls(
+                capacity_bytes=capacity,
+                segment_size=segment_size,
+                energy_model=energy_model,
+                latency_model=latency_model,
+                track_bit_wear="bit_wear" in archive,
+            )
+            device._content[:] = archive["content"]
+            device.segment_write_count[:] = archive["segment_write_count"]
+            if "bit_wear" in archive:
+                assert device._bit_wear is not None
+                device._bit_wear[:] = archive["bit_wear"]
+        return device
+
+    # -------------------------------------------------------------- internals
+
+    def _dirty_lines(self, addr: int, mask: np.ndarray) -> int:
+        line = self.energy_model.cache_line_bytes
+        first_line = addr // line
+        last_line = (addr + mask.size - 1) // line
+        n_lines = last_line - first_line + 1
+        # Pad the mask out to whole lines, then check each line for activity.
+        padded = np.zeros(n_lines * line, dtype=np.uint8)
+        offset = addr - first_line * line
+        padded[offset : offset + mask.size] = mask
+        per_line = padded.reshape(n_lines, line)
+        return int(np.count_nonzero(per_line.any(axis=1)))
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if addr < 0 or addr + length > self.capacity_bytes:
+            raise IndexError(
+                f"access [{addr}, {addr + length}) outside device of "
+                f"{self.capacity_bytes} bytes"
+            )
+
+    @staticmethod
+    def _as_u8(data: np.ndarray | bytes) -> np.ndarray:
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            return np.frombuffer(bytes(data), dtype=np.uint8)
+        arr = np.asarray(data)
+        if arr.dtype != np.uint8:
+            raise TypeError("device data must be uint8 or bytes")
+        return arr

@@ -1,0 +1,66 @@
+"""Aggregate counters for the simulated device.
+
+``DeviceStats`` is a plain accumulator; ``snapshot()`` / subtraction make it
+easy to measure the activity of a single experiment phase::
+
+    before = device.stats.snapshot()
+    ...run workload...
+    delta = device.stats.snapshot() - before
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative device activity counters."""
+
+    writes: int = 0
+    reads: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    bits_programmed: int = 0
+    bits_flipped: int = 0
+    aux_bits_programmed: int = 0
+    dirty_lines_written: int = 0
+    write_energy_pj: float = 0.0
+    read_energy_pj: float = 0.0
+    write_latency_ns: float = 0.0
+    read_latency_ns: float = 0.0
+
+    def snapshot(self) -> "DeviceStats":
+        """Return an independent copy of the current counters."""
+        return DeviceStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def __sub__(self, other: "DeviceStats") -> "DeviceStats":
+        return DeviceStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __add__(self, other: "DeviceStats") -> "DeviceStats":
+        return DeviceStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Combined read+write media energy in picojoules."""
+        return self.write_energy_pj + self.read_energy_pj
+
+    @property
+    def bits_programmed_per_write(self) -> float:
+        """Average programmed (updated) bits per write operation."""
+        return self.bits_programmed / self.writes if self.writes else 0.0
+
+    @property
+    def energy_per_write_pj(self) -> float:
+        """Average write energy per write operation, in picojoules."""
+        return self.write_energy_pj / self.writes if self.writes else 0.0

@@ -1,0 +1,168 @@
+"""Wear-leveling policies for the simulated memory controller.
+
+The paper (§2.1) models the proprietary controller-level wear leveling as a
+*segment swap every ψ writes*, with ψ typically in the tens of writes [22].
+Figure 2 sweeps ψ to show that E2-NVM's placement survives the swapping for
+realistic ψ.
+
+All policies maintain a logical→physical segment mapping.  Swap traffic goes
+through the device with a DCW (differing-bits-only) mask, so the extra flips
+that swapping causes are accounted — the paper notes wear leveling "may
+introduce more bit flips ... due to the swap operation" (§2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nvm.device import NVMDevice
+from repro.util.rng import rng_from_seed
+
+
+class NoWearLeveling:
+    """Identity mapping: the controller never moves segments."""
+
+    def attach(self, device: NVMDevice) -> None:
+        """Bind to a device (no state needed)."""
+        self._n_segments = device.n_segments
+
+    def to_physical(self, logical_segment: int) -> int:
+        """Physical segment currently backing ``logical_segment``."""
+        return logical_segment
+
+    def after_write(self, device: NVMDevice, logical_segment: int) -> None:
+        """Hook invoked by the controller after every segment write."""
+
+
+class SegmentSwapWearLeveling:
+    """Swap the just-written segment with a random peer every ψ writes.
+
+    Args:
+        period: ψ, the number of writes between swaps; ``period=1`` swaps on
+            every write (the adversarial case of Figure 2).
+        seed: RNG seed for peer selection.
+    """
+
+    def __init__(self, period: int, seed: int | np.random.Generator | None = 0):
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self._rng = rng_from_seed(seed)
+        self._writes_since_swap = 0
+        self.swaps_performed = 0
+        self._logical_to_physical: np.ndarray | None = None
+        self._physical_to_logical: np.ndarray | None = None
+
+    def attach(self, device: NVMDevice) -> None:
+        n = device.n_segments
+        self._logical_to_physical = np.arange(n, dtype=np.int64)
+        self._physical_to_logical = np.arange(n, dtype=np.int64)
+
+    def to_physical(self, logical_segment: int) -> int:
+        if self._logical_to_physical is None:
+            raise RuntimeError("wear leveler not attached to a device")
+        return int(self._logical_to_physical[logical_segment])
+
+    def after_write(self, device: NVMDevice, logical_segment: int) -> None:
+        self._writes_since_swap += 1
+        if self._writes_since_swap < self.period:
+            return
+        self._writes_since_swap = 0
+        self._swap(device, logical_segment)
+
+    def _swap(self, device: NVMDevice, logical_segment: int) -> None:
+        assert self._logical_to_physical is not None
+        assert self._physical_to_logical is not None
+        n = device.n_segments
+        if n < 2:
+            return
+        phys_a = int(self._logical_to_physical[logical_segment])
+        phys_b = int(self._rng.integers(0, n))
+        if phys_b == phys_a:
+            phys_b = (phys_b + 1) % n
+
+        size = device.segment_size
+        addr_a = phys_a * size
+        addr_b = phys_b * size
+        content_a = device.read_array(addr_a, size)
+        content_b = device.read_array(addr_b, size)
+        # Physically exchange the contents, programming only differing bits.
+        diff = np.bitwise_xor(content_a, content_b)
+        if diff.any():
+            device.program(addr_a, content_b, program_mask=diff)
+            device.program(addr_b, content_a, program_mask=diff)
+
+        logical_b = int(self._physical_to_logical[phys_b])
+        self._logical_to_physical[logical_segment] = phys_b
+        self._logical_to_physical[logical_b] = phys_a
+        self._physical_to_logical[phys_a] = logical_b
+        self._physical_to_logical[phys_b] = logical_segment
+        self.swaps_performed += 1
+
+
+class StartGapWearLeveling:
+    """Start-Gap wear leveling (Qureshi et al., MICRO'09).
+
+    One spare "gap" segment rotates through the device: every ψ writes the
+    segment adjacent to the gap is copied into it and the gap advances, so
+    hot logical segments slowly migrate over the whole media.
+    """
+
+    def __init__(self, period: int):
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self._writes_since_move = 0
+        self.moves_performed = 0
+        self._start = 0
+        self._gap: int | None = None
+        self._n: int | None = None
+
+    def attach(self, device: NVMDevice) -> None:
+        # The last physical segment starts as the gap; logical space is one
+        # segment smaller than physical space.
+        self._n = device.n_segments
+        self._gap = self._n - 1
+        self._start = 0
+        if self._n < 2:
+            raise ValueError("start-gap needs at least 2 segments")
+
+    @property
+    def logical_segments(self) -> int:
+        """Number of logical segments exposed (physical minus the gap)."""
+        if self._n is None:
+            raise RuntimeError("wear leveler not attached to a device")
+        return self._n - 1
+
+    def to_physical(self, logical_segment: int) -> int:
+        if self._n is None or self._gap is None:
+            raise RuntimeError("wear leveler not attached to a device")
+        if not 0 <= logical_segment < self._n - 1:
+            raise IndexError(f"logical segment {logical_segment} out of range")
+        raw = (logical_segment + self._start) % (self._n - 1)
+        # Skip over the gap: raw positions at or above the gap shift up by 1.
+        return raw + 1 if raw >= self._gap else raw
+
+    def after_write(self, device: NVMDevice, logical_segment: int) -> None:
+        self._writes_since_move += 1
+        if self._writes_since_move < self.period:
+            return
+        self._writes_since_move = 0
+        self._move_gap(device)
+
+    def _move_gap(self, device: NVMDevice) -> None:
+        assert self._n is not None and self._gap is not None
+        size = device.segment_size
+        donor = (self._gap - 1) % self._n
+        content = device.read_array(donor * size, size)
+        old_gap = device.read_array(self._gap * size, size)
+        diff = np.bitwise_xor(content, old_gap)
+        if diff.any():
+            device.program(self._gap * size, content, program_mask=diff)
+        wrapped = self._gap == 0
+        self._gap = donor
+        self.moves_performed += 1
+        if wrapped:
+            # The gap jumped from physical 0 back to the top: one full
+            # revolution completed, so the logical ring rotates by one.
+            self._start = (self._start + 1) % (self._n - 1)

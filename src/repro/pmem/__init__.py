@@ -1,0 +1,18 @@
+"""PMDK-like persistent-memory programming layer.
+
+The paper's Figure 1 experiment "use[s] PMDK's transactions to persist
+writes" on a real Optane device.  This package provides the equivalent
+programming model over the simulated device:
+
+- :class:`~repro.pmem.pool.PersistentPool` — an object pool with a
+  segment-granularity allocator (``pmemobj_alloc``-style);
+- :class:`~repro.pmem.transaction.Transaction` — undo-log transactions
+  (``TX_BEGIN``/``TX_ADD``-style): old content is logged to a reserved NVM
+  log region before in-place writes, so the log traffic's energy cost is
+  part of every transactional write, exactly as on real PMDK.
+"""
+
+from repro.pmem.pool import PersistentPool
+from repro.pmem.transaction import Transaction, TransactionAborted
+
+__all__ = ["PersistentPool", "Transaction", "TransactionAborted"]

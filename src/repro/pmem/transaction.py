@@ -1,0 +1,79 @@
+"""Undo-log transactions over the simulated NVM (PMDK ``tx`` style).
+
+Each transactional write first persists an undo record — the target
+address, length, and *old* content — into the pool's media-resident log
+region, marks the record valid, and only then writes the new data in place.
+Commit clears the log's active flag; abort (an exception inside the
+``with`` block) replays the undo records in reverse.
+
+Because the log lives on the simulated media, a *crash* mid-transaction
+(abandoning the pool object) is recoverable: a new
+:class:`~repro.pmem.pool.PersistentPool` constructed over the same device
+with ``recover=True`` finds the active log and rolls the half-applied
+transaction back — see ``tests/pmem/test_crash_recovery.py``.
+
+All log traffic is real device writes, so transactional overhead shows up
+in the energy/latency accounting, as it does on real Optane through PMDK.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TransactionAborted(Exception):
+    """Raised by :meth:`Transaction.abort` to roll back explicitly."""
+
+
+class Transaction:
+    """One undo-log transaction; use as a context manager.
+
+    Created by :meth:`repro.pmem.pool.PersistentPool.transaction`.  Only one
+    transaction may be active per pool at a time (the log holds one
+    transaction's records).
+    """
+
+    def __init__(self, pool) -> None:
+        self._pool = pool
+        self._active = False
+
+    def __enter__(self) -> "Transaction":
+        self._pool._log_begin()
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._commit()
+            return False
+        self._rollback()
+        self._active = False
+        # Swallow only explicit aborts; real errors propagate.
+        return exc_type is TransactionAborted
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Log the old content of ``[addr, addr+len)``, then write in place."""
+        if not self._active:
+            raise RuntimeError("transaction is not active")
+        old = self._pool.controller.read(addr, len(data))
+        self._pool._log_record(addr, old)
+        self._pool.controller.write(addr, data)
+
+    def abort(self) -> None:
+        """Roll back everything written so far and leave the ``with`` block."""
+        raise TransactionAborted()
+
+    def _commit(self) -> None:
+        self._pool._log_finish()
+        self._active = False
+
+    def _rollback(self) -> None:
+        self._pool._log_rollback()
+        self._pool._log_finish()
+
+
+def as_bytes(data) -> bytes:
+    """Normalise ``bytes``/``ndarray`` write payloads."""
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return bytes(data)
+    return np.asarray(data, dtype=np.uint8).tobytes()

@@ -1,0 +1,13 @@
+"""Energy/latency profiling substitutes for `perf` / Intel RAPL.
+
+- :mod:`repro.profiling.compute` — analytic cost of model training and
+  prediction (FLOP-based), replacing the GPU wall-clock/RAPL measurements of
+  Figures 16 and 18;
+- :mod:`repro.profiling.profiler` — a sampled package-energy timeline with
+  phase markers, reproducing the perf-style traces of Figures 16 and 17.
+"""
+
+from repro.profiling.compute import ComputeCostModel
+from repro.profiling.profiler import PhaseTimeline
+
+__all__ = ["ComputeCostModel", "PhaseTimeline"]

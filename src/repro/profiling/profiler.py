@@ -1,0 +1,90 @@
+"""Phase-marked energy timeline (the perf/RAPL trace substitute).
+
+Figures 16 and 17 plot sampled package energy over time through training,
+writing and retraining phases.  ``PhaseTimeline`` accumulates (simulated
+time, energy) events tagged with a phase name and can resample the record
+into fixed-interval power samples, like perf's 1000 Hz sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One accounted burst of activity."""
+
+    t_start: float
+    duration_s: float
+    energy_pj: float
+    phase: str
+
+
+class PhaseTimeline:
+    """Simulated-clock energy recorder with named phases."""
+
+    def __init__(self) -> None:
+        self._events: list[TimelineEvent] = []
+        self._clock = 0.0
+        self._phase = "idle"
+        self._phase_marks: list[tuple[float, str]] = [(0.0, "idle")]
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock
+
+    def begin_phase(self, name: str) -> None:
+        """Mark the start of a named phase (train / write / retrain / ...)."""
+        self._phase = name
+        self._phase_marks.append((self._clock, name))
+
+    def record(self, energy_pj: float, duration_s: float) -> None:
+        """Account one burst of activity in the current phase."""
+        if duration_s < 0 or energy_pj < 0:
+            raise ValueError("energy and duration must be non-negative")
+        self._events.append(
+            TimelineEvent(self._clock, duration_s, energy_pj, self._phase)
+        )
+        self._clock += duration_s
+
+    def total_energy_pj(self, phase: str | None = None) -> float:
+        """Total energy, optionally filtered to one phase."""
+        return sum(
+            e.energy_pj
+            for e in self._events
+            if phase is None or e.phase == phase
+        )
+
+    def phase_marks(self) -> list[tuple[float, str]]:
+        """The (time, phase-name) transition markers."""
+        return list(self._phase_marks)
+
+    def power_samples(self, interval_s: float = 1e-3):
+        """Resample into (t, average power in W) points, perf-style.
+
+        Each event's energy is spread uniformly over its duration;
+        zero-duration events are folded into their containing sample.
+        """
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if not self._events:
+            return np.zeros(0), np.zeros(0)
+        end = self._clock
+        n = max(1, int(np.ceil(end / interval_s)))
+        energy = np.zeros(n)
+        for e in self._events:
+            if e.duration_s <= 0:
+                idx = min(int(e.t_start / interval_s), n - 1)
+                energy[idx] += e.energy_pj
+                continue
+            first = int(e.t_start / interval_s)
+            last = min(int((e.t_start + e.duration_s) / interval_s), n - 1)
+            per_sample = e.energy_pj / (last - first + 1)
+            energy[first : last + 1] += per_sample
+        t = (np.arange(n) + 0.5) * interval_s
+        watts = energy * 1e-12 / interval_s
+        return t, watts

@@ -1,0 +1,64 @@
+"""Bit-level primitives used throughout the simulator.
+
+All NVM content is modelled as NumPy ``uint8`` arrays.  Counting flipped bits
+between an old and a new byte string (the Hamming distance) is the single
+hottest operation in the whole reproduction, so it is vectorised with a
+256-entry popcount lookup table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ``POPCOUNT_TABLE[b]`` is the number of set bits in byte value ``b``.
+POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def popcount_array(values: np.ndarray) -> int:
+    """Return the total number of set bits across a ``uint8`` array."""
+    values = np.asarray(values, dtype=np.uint8)
+    return int(POPCOUNT_TABLE[values].sum())
+
+
+def hamming_bytes(a: np.ndarray, b: np.ndarray) -> int:
+    """Return the Hamming distance (number of differing bits) between two
+    equal-length ``uint8`` arrays."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return popcount_array(np.bitwise_xor(a, b))
+
+
+def hamming_distance(a: bytes, b: bytes) -> int:
+    """Return the Hamming distance between two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return hamming_bytes(
+        np.frombuffer(a, dtype=np.uint8), np.frombuffer(b, dtype=np.uint8)
+    )
+
+
+def bytes_to_bits(data: bytes | np.ndarray) -> np.ndarray:
+    """Expand bytes into a ``float32`` 0/1 bit vector (MSB first).
+
+    The ML models consume bit vectors, one feature per bit, exactly as the
+    paper encodes memory segments (§3.2).
+    """
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        data = np.frombuffer(bytes(data), dtype=np.uint8)
+    data = np.asarray(data, dtype=np.uint8)
+    return np.unpackbits(data).astype(np.float32)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Collapse a 0/1 bit vector (MSB first) back into bytes.
+
+    The bit count must be a multiple of 8.  Values are thresholded at 0.5 so
+    that model outputs (probabilities) can be passed directly.
+    """
+    bits = np.asarray(bits)
+    if bits.size % 8:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    hard = (bits > 0.5).astype(np.uint8)
+    return np.packbits(hard).tobytes()

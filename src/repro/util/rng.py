@@ -1,0 +1,21 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the reproduction (device init content, workload
+generators, model initialisation) accepts either a seed or an existing
+``numpy.random.Generator``; this helper normalises both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Passing an existing generator returns it unchanged so callers can share a
+    stream; passing ``None`` yields a fresh OS-seeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

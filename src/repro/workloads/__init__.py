@@ -1,0 +1,63 @@
+"""Workload and dataset generators.
+
+Offline stand-ins for everything the paper's evaluation feeds the system
+(§5.2.1), each documented with the substitution rationale in DESIGN.md:
+
+- :mod:`repro.workloads.zipfian` — request-distribution generators (Gray's
+  zipfian, scrambled zipfian, latest, uniform);
+- :mod:`repro.workloads.ycsb` — the six YCSB core workloads A–F;
+- :mod:`repro.workloads.datasets` — image-like clusterable bit datasets
+  (MNIST / Fashion-MNIST / CIFAR-10 / ImageNet equivalents);
+- :mod:`repro.workloads.records` — numerical record datasets (Amazon Access
+  Samples / 3D Road Network / PubMed DocWord equivalents);
+- :mod:`repro.workloads.video` — CCTV-like synthetic video with tunable
+  frame-to-frame correlation (Sherbrooke / AAU surveillance equivalents);
+- :mod:`repro.workloads.mixing` — drift schedules for the adaptability
+  experiment (Figure 17).
+"""
+
+from repro.workloads.zipfian import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.ycsb import (
+    WORKLOADS,
+    WorkloadSpec,
+    YCSBWorkload,
+)
+from repro.workloads.datasets import (
+    cifar_like,
+    fashion_mnist_like,
+    imagenet_like,
+    make_image_dataset,
+    mnist_like,
+)
+from repro.workloads.records import (
+    amazon_access_like,
+    pubmed_like,
+    road_network_like,
+)
+from repro.workloads.video import SyntheticVideo
+from repro.workloads.mixing import DriftSchedule
+
+__all__ = [
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "LatestGenerator",
+    "UniformGenerator",
+    "WorkloadSpec",
+    "YCSBWorkload",
+    "WORKLOADS",
+    "make_image_dataset",
+    "mnist_like",
+    "fashion_mnist_like",
+    "cifar_like",
+    "imagenet_like",
+    "amazon_access_like",
+    "road_network_like",
+    "pubmed_like",
+    "SyntheticVideo",
+    "DriftSchedule",
+]

@@ -1,0 +1,94 @@
+"""Synthetic image-like datasets (MNIST / Fashion-MNIST / CIFAR / ImageNet
+stand-ins).
+
+The paper clusters memory segments by bit content; what matters for the
+reproduction is that the data has the same *clusterable structure* as the
+image datasets it uses: a small number of content classes, high within-class
+bit similarity, noise on top.  ``make_image_dataset`` generates exactly that
+— per-class smooth prototypes, per-sample Gaussian pixel noise, binarised at
+mid-scale — deterministically and offline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import rng_from_seed
+
+
+def make_image_dataset(
+    n_samples: int,
+    n_pixels: int,
+    n_classes: int = 10,
+    noise: float = 0.15,
+    smoothness: int = 4,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate (bits, labels): ``bits`` is (n_samples, n_pixels) of 0/1.
+
+    Args:
+        n_samples: rows to generate.
+        n_pixels: bits per sample (one "pixel" binarises to one bit).
+        n_classes: distinct content prototypes.
+        noise: standard deviation of per-sample pixel noise (pixel scale 1).
+        smoothness: low-frequency components in each prototype; higher makes
+            blobbier, more image-like prototypes.
+        seed: RNG seed.
+    """
+    if n_samples <= 0 or n_pixels <= 0 or n_classes <= 0:
+        raise ValueError("sizes must be positive")
+    rng = rng_from_seed(seed)
+    # Smooth prototypes: random low-frequency mixtures over pixel index.
+    t = np.linspace(0.0, 1.0, n_pixels)
+    prototypes = np.zeros((n_classes, n_pixels))
+    for c in range(n_classes):
+        for _ in range(smoothness):
+            freq = rng.uniform(0.5, 8.0)
+            phase = rng.uniform(0.0, 2 * np.pi)
+            amp = rng.uniform(0.3, 1.0)
+            prototypes[c] += amp * np.sin(2 * np.pi * freq * t + phase)
+        prototypes[c] += rng.normal(0.0, 0.3, size=n_pixels)
+    labels = rng.integers(0, n_classes, size=n_samples)
+    pixels = prototypes[labels] + rng.normal(0.0, noise * 3.0, (n_samples, n_pixels))
+    bits = (pixels > 0.0).astype(np.float64)
+    return bits, labels
+
+
+def _named(n_samples, n_pixels, n_classes, seed, noise=0.15):
+    bits, labels = make_image_dataset(
+        n_samples, n_pixels, n_classes=n_classes, noise=noise, seed=seed
+    )
+    return bits, labels
+
+
+def mnist_like(n_samples: int = 1000, n_pixels: int = 784, seed: int = 0):
+    """28×28 binarised digits stand-in: 10 classes, 784 bits."""
+    return _named(n_samples, n_pixels, 10, seed)
+
+
+def fashion_mnist_like(n_samples: int = 1000, n_pixels: int = 784, seed: int = 1):
+    """Fashion-MNIST stand-in: same shape as MNIST, different prototypes."""
+    return _named(n_samples, n_pixels, 10, seed, noise=0.2)
+
+
+def cifar_like(n_samples: int = 1000, n_pixels: int = 1024, seed: int = 2):
+    """CIFAR-10 stand-in: 10 classes, 32×32 luminance bits, noisier."""
+    return _named(n_samples, n_pixels, 10, seed, noise=0.25)
+
+
+def imagenet_like(
+    n_samples: int = 500, n_pixels: int = 4096, n_classes: int = 50, seed: int = 3
+):
+    """ImageNet stand-in: many classes, larger items (64 KB objects in the
+    paper's Figure 16 are scaled down proportionally)."""
+    return _named(n_samples, n_pixels, n_classes, seed, noise=0.2)
+
+
+def bits_to_values(bits: np.ndarray) -> list[bytes]:
+    """Pack each row of a 0/1 matrix into value bytes (row bits must be a
+    multiple of 8)."""
+    bits = np.asarray(bits)
+    if bits.ndim != 2 or bits.shape[1] % 8:
+        raise ValueError("need 2D bits with a multiple-of-8 row width")
+    packed = np.packbits((bits > 0.5).astype(np.uint8), axis=1)
+    return [row.tobytes() for row in packed]

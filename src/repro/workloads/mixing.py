@@ -1,0 +1,67 @@
+"""Workload-drift schedules for the adaptability experiment (Figure 17).
+
+The paper streams five phases of changing content (MNIST → more MNIST →
+MNIST+Fashion mixture → CIFAR → CIFAR after retrain).  ``DriftSchedule``
+expresses such a timeline as named phases, each an iterator of value bytes,
+with retrain markers between phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import rng_from_seed
+
+
+@dataclass
+class Phase:
+    """One phase of the drift schedule."""
+
+    name: str
+    values: list[bytes]
+    retrain_before: bool = False
+
+
+@dataclass
+class DriftSchedule:
+    """An ordered list of workload phases."""
+
+    phases: list[Phase] = field(default_factory=list)
+
+    def add_phase(
+        self, name: str, values: list[bytes], retrain_before: bool = False
+    ) -> "DriftSchedule":
+        """Append a phase; returns self for chaining."""
+        self.phases.append(Phase(name, list(values), retrain_before))
+        return self
+
+    def add_mixture(
+        self,
+        name: str,
+        sources: list[list[bytes]],
+        weights: list[float],
+        n_items: int,
+        retrain_before: bool = False,
+        seed: int | np.random.Generator | None = 0,
+    ) -> "DriftSchedule":
+        """Append a phase drawing from several sources at given ratios
+        (Figure 17's scenario 3 mixes Fashion-MNIST and MNIST 1:2)."""
+        if len(sources) != len(weights) or not sources:
+            raise ValueError("need one weight per source")
+        rng = rng_from_seed(seed)
+        probs = np.asarray(weights, dtype=np.float64)
+        probs = probs / probs.sum()
+        values = []
+        for _ in range(n_items):
+            src = sources[int(rng.choice(len(sources), p=probs))]
+            values.append(src[int(rng.integers(0, len(src)))])
+        return self.add_phase(name, values, retrain_before)
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    def total_items(self) -> int:
+        """Total values across all phases."""
+        return sum(len(p.values) for p in self.phases)

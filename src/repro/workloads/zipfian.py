@@ -1,0 +1,134 @@
+"""Request-distribution generators, following the YCSB paper [11].
+
+The zipfian generator is Gray et al.'s rejection-free algorithm (*Quickly
+generating billion-record synthetic databases*, SIGMOD '94), the same one
+YCSB uses; the scrambled variant hashes the rank so popular items spread
+over the keyspace; the latest variant favours recently inserted items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import rng_from_seed
+
+_ZIPF_CONSTANT = 0.99
+
+
+class UniformGenerator:
+    """Uniform integers in ``[0, n)``; ``n`` can grow."""
+
+    def __init__(self, n: int, seed: int | np.random.Generator | None = 0) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self._rng = rng_from_seed(seed)
+
+    def next(self) -> int:
+        return int(self._rng.integers(0, self.n))
+
+    def grow(self, new_n: int) -> None:
+        """Extend the range (new inserts enlarge the keyspace)."""
+        if new_n < self.n:
+            raise ValueError("the range can only grow")
+        self.n = new_n
+
+
+class ZipfianGenerator:
+    """Gray's zipfian generator over ``[0, n)`` (rank 0 most popular)."""
+
+    def __init__(
+        self,
+        n: int,
+        theta: float = _ZIPF_CONSTANT,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self._rng = rng_from_seed(seed)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._recompute()
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def grow(self, new_n: int) -> None:
+        """Extend the range incrementally (zeta updated, not recomputed)."""
+        if new_n < self.n:
+            raise ValueError("the range can only grow")
+        for i in range(self.n, new_n):
+            self._zetan += 1.0 / (i + 1) ** self.theta
+        self.n = new_n
+        self._recompute()
+
+    def _recompute(self) -> None:
+        self._alpha = 1.0 / (1.0 - self.theta)
+        self._eta = (1.0 - (2.0 / self.n) ** (1.0 - self.theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return float(np.sum(1.0 / np.arange(1, n + 1) ** theta))
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks scrambled over the keyspace with an FNV hash."""
+
+    def __init__(
+        self,
+        n: int,
+        theta: float = _ZIPF_CONSTANT,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta, seed)
+
+    def next(self) -> int:
+        return self._fnv(self._zipf.next()) % self.n
+
+    def grow(self, new_n: int) -> None:
+        self._zipf.grow(new_n)
+        self.n = new_n
+
+    @staticmethod
+    def _fnv(value: int) -> int:
+        h = 0xCBF29CE484222325
+        for _ in range(8):
+            h ^= value & 0xFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+            value >>= 8
+        return h
+
+
+class LatestGenerator:
+    """Skew toward the most recently inserted item (YCSB workload D)."""
+
+    def __init__(
+        self,
+        n: int,
+        theta: float = _ZIPF_CONSTANT,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self._zipf = ZipfianGenerator(n, theta, seed)
+
+    @property
+    def n(self) -> int:
+        return self._zipf.n
+
+    def next(self) -> int:
+        return self._zipf.n - 1 - min(self._zipf.next(), self._zipf.n - 1)
+
+    def grow(self, new_n: int) -> None:
+        self._zipf.grow(new_n)

@@ -1,0 +1,169 @@
+"""Placement-strategy tests: claiming, recycling, similarity quality."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ArbitraryPlacer, HammingTreePlacer, PNWPlacer
+from repro.baselines.naive import BestFitPlacer
+from repro.util.bits import bits_to_bytes, hamming_distance
+from repro.workloads.datasets import make_image_dataset
+
+
+def make_pool(n=40, bits=128, seed=0):
+    data, _ = make_image_dataset(n, bits, n_classes=4, noise=0.05, seed=seed)
+    contents = {i * 16: data[i] for i in range(n)}
+    return list(contents), contents, data
+
+
+class TestArbitraryPlacer:
+    def test_fifo_order(self):
+        addrs, contents, data = make_pool()
+        placer = ArbitraryPlacer(addrs)
+        assert placer.choose(data[5]) == addrs[0]
+        assert placer.choose(data[6]) == addrs[1]
+
+    def test_release_recycles(self):
+        addrs, contents, data = make_pool(n=3)
+        placer = ArbitraryPlacer(addrs)
+        for _ in range(3):
+            placer.choose(data[0])
+        assert placer.free_count() == 0
+        placer.release(addrs[0], data[0])
+        assert placer.free_count() == 1
+        assert placer.choose(data[1]) == addrs[0]
+
+    def test_exhaustion_raises(self):
+        placer = ArbitraryPlacer([])
+        with pytest.raises(RuntimeError):
+            placer.choose(np.zeros(8))
+
+
+class TestBestFitPlacer:
+    def test_chooses_minimum_hamming(self):
+        addrs, contents, data = make_pool()
+        placer = BestFitPlacer(addrs, contents)
+        target = data[7]
+        chosen = placer.choose(target)
+        chosen_dist = hamming_distance(
+            bits_to_bytes(contents[chosen]), bits_to_bytes(target)
+        )
+        for addr in addrs:
+            if addr == chosen:
+                continue
+            other = hamming_distance(
+                bits_to_bytes(contents[addr]), bits_to_bytes(target)
+            )
+            assert chosen_dist <= other
+
+    def test_claimed_address_not_reused(self):
+        addrs, contents, data = make_pool(n=5)
+        placer = BestFitPlacer(addrs, contents)
+        seen = {placer.choose(data[i]) for i in range(5)}
+        assert len(seen) == 5
+        with pytest.raises(RuntimeError):
+            placer.choose(data[0])
+
+
+class TestHammingTreePlacer:
+    def test_finds_exact_match(self):
+        addrs, contents, data = make_pool()
+        placer = HammingTreePlacer(addrs, contents)
+        target_addr = addrs[13]
+        chosen = placer.choose(contents[target_addr])
+        assert hamming_distance(
+            bits_to_bytes(contents[chosen]), bits_to_bytes(contents[target_addr])
+        ) == 0
+
+    def test_nearest_matches_bestfit(self):
+        """BK-tree search is exact: it must match the brute-force optimum."""
+        addrs, contents, data = make_pool(n=30, seed=3)
+        tree = HammingTreePlacer(addrs, contents)
+        brute = BestFitPlacer(addrs, contents)
+        for i in range(8):
+            target = data[i]
+            t_addr = tree.choose(target)
+            b_addr = brute.choose(target)
+            t_dist = hamming_distance(
+                bits_to_bytes(contents[t_addr]), bits_to_bytes(target)
+            )
+            b_dist = hamming_distance(
+                bits_to_bytes(contents[b_addr]), bits_to_bytes(target)
+            )
+            assert t_dist == b_dist
+
+    def test_release_and_reuse(self):
+        addrs, contents, data = make_pool(n=4)
+        placer = HammingTreePlacer(addrs, contents)
+        claimed = [placer.choose(data[i]) for i in range(4)]
+        assert placer.free_count() == 0
+        placer.release(claimed[0], contents[claimed[0]])
+        assert placer.free_count() == 1
+        assert placer.choose(contents[claimed[0]]) == claimed[0]
+
+    def test_rebuild_preserves_entries(self):
+        addrs, contents, data = make_pool(n=40, seed=4)
+        placer = HammingTreePlacer(addrs, contents)
+        # Claim enough to trigger the half-dead rebuild.
+        for i in range(25):
+            placer.choose(data[i])
+        assert placer.free_count() == 15
+        remaining = {placer.choose(data[0]) for _ in range(15)}
+        assert len(remaining) == 15
+
+    def test_exhaustion_raises(self):
+        addrs, contents, data = make_pool(n=2)
+        placer = HammingTreePlacer(addrs, contents)
+        placer.choose(data[0])
+        placer.choose(data[0])
+        with pytest.raises(RuntimeError):
+            placer.choose(data[0])
+
+
+class TestPNWPlacer:
+    def test_fit_requires_enough_segments(self):
+        addrs, contents, _ = make_pool(n=2)
+        with pytest.raises(ValueError):
+            PNWPlacer(5).fit(addrs, contents)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PNWPlacer(3).predict(np.zeros(8))
+
+    def test_choose_from_predicted_cluster(self):
+        addrs, contents, data = make_pool(n=40, seed=5)
+        placer = PNWPlacer(4, seed=5).fit(addrs, contents)
+        target = data[3]
+        cluster = placer.predict(target)
+        chosen = placer.choose(target)
+        # The chosen address was in the predicted cluster's pool.
+        assert placer.predict(contents[chosen]) == cluster
+
+    def test_fallback_to_nearest_cluster(self):
+        addrs, contents, data = make_pool(n=12, seed=6)
+        placer = PNWPlacer(3, seed=6).fit(addrs, contents)
+        # Drain everything; the placer must fall back across clusters and
+        # only raise when truly empty.
+        for _ in range(12):
+            placer.choose(data[0])
+        with pytest.raises(RuntimeError):
+            placer.choose(data[0])
+
+    def test_pca_mode(self):
+        addrs, contents, data = make_pool(n=40, seed=7)
+        placer = PNWPlacer(3, pca_components=8, seed=7).fit(addrs, contents)
+        assert placer.free_count() == 40
+        addr = placer.choose(data[0])
+        placer.release(addr, contents[addr])
+        assert placer.free_count() == 40
+
+    def test_clusters_group_similar_content(self):
+        addrs, contents, data = make_pool(n=60, seed=8)
+        placer = PNWPlacer(4, seed=8).fit(addrs, contents)
+        labels = [placer.predict(data[i]) for i in range(60)]
+        within, between = [], []
+        for i in range(30):
+            for j in range(i + 1, 30):
+                d = float(np.abs(data[i] - data[j]).sum())
+                (within if labels[i] == labels[j] else between).append(d)
+        if within and between:
+            assert np.mean(within) < np.mean(between)

@@ -1,0 +1,172 @@
+"""Write-scheme tests: decode correctness, programmed-bit guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DCW, FMR, FNW, FPC, Captopril, MinShift, NaiveWrite
+from repro.util.bits import POPCOUNT_TABLE, hamming_bytes
+
+ALL_SCHEMES = [NaiveWrite, DCW, FNW, MinShift, Captopril, FMR, FPC]
+
+
+def apply_and_decode(scheme, old, new, addr=0):
+    """Run prepare on a scheme and simulate the media state transition."""
+    old = np.asarray(old, dtype=np.uint8)
+    new = np.asarray(new, dtype=np.uint8)
+    plan = scheme.prepare(addr, old, new)
+    mask = (
+        plan.program_mask
+        if plan.program_mask is not None
+        else np.full(new.size, 0xFF, dtype=np.uint8)
+    )
+    stored_after = np.bitwise_or(
+        np.bitwise_and(old, np.bitwise_not(mask)),
+        np.bitwise_and(plan.stored, mask),
+    )
+    decoded = scheme.decode(addr, stored_after)
+    return plan, mask, stored_after, decoded
+
+
+class TestDecodeCorrectness:
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_roundtrip(self, scheme_cls, data):
+        n = data.draw(st.integers(min_value=1, max_value=40))
+        old = bytes(data.draw(st.binary(min_size=n, max_size=n)))
+        new = bytes(data.draw(st.binary(min_size=n, max_size=n)))
+        scheme = scheme_cls()
+        _, _, _, decoded = apply_and_decode(
+            scheme,
+            np.frombuffer(old, dtype=np.uint8),
+            np.frombuffer(new, dtype=np.uint8),
+        )
+        assert decoded.tobytes() == new
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_sequential_writes_same_address(self, scheme_cls):
+        rng = np.random.default_rng(0)
+        scheme = scheme_cls()
+        stored = rng.integers(0, 256, 16, dtype=np.uint8)
+        for _ in range(10):
+            new = rng.integers(0, 256, 16, dtype=np.uint8)
+            _, _, stored, decoded = apply_and_decode(scheme, stored, new)
+            assert np.array_equal(decoded, new)
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_independent_addresses(self, scheme_cls):
+        scheme = scheme_cls()
+        old = np.zeros(8, dtype=np.uint8)
+        a = np.full(8, 0xFF, dtype=np.uint8)
+        b = np.full(8, 0x0F, dtype=np.uint8)
+        _, _, stored_a, _ = apply_and_decode(scheme, old, a, addr=0)
+        _, _, stored_b, _ = apply_and_decode(scheme, old, b, addr=64)
+        assert np.array_equal(scheme.decode(0, stored_a), a)
+        assert np.array_equal(scheme.decode(64, stored_b), b)
+
+
+class TestProgrammedBits:
+    def test_naive_programs_everything(self):
+        plan, mask, _, _ = apply_and_decode(
+            NaiveWrite(), np.zeros(8, dtype=np.uint8), np.zeros(8, dtype=np.uint8)
+        )
+        assert int(POPCOUNT_TABLE[mask].sum()) == 64
+
+    def test_dcw_programs_exactly_hamming(self):
+        rng = np.random.default_rng(1)
+        old = rng.integers(0, 256, 32, dtype=np.uint8)
+        new = rng.integers(0, 256, 32, dtype=np.uint8)
+        _, mask, _, _ = apply_and_decode(DCW(), old, new)
+        assert int(POPCOUNT_TABLE[mask].sum()) == hamming_bytes(old, new)
+
+    def test_dcw_identical_programs_nothing(self):
+        old = np.arange(16, dtype=np.uint8)
+        _, mask, _, _ = apply_and_decode(DCW(), old, old.copy())
+        assert not mask.any()
+
+    def test_fnw_beats_dcw_on_near_complement(self):
+        """Writing ~old over old: DCW flips everything, FNW flips ~nothing
+        (just flags)."""
+        old = np.full(16, 0x00, dtype=np.uint8)
+        new = np.full(16, 0xFF, dtype=np.uint8)
+        _, dcw_mask, _, _ = apply_and_decode(DCW(), old, new)
+        fnw = FNW(word_bytes=4)
+        plan, fnw_mask, _, _ = apply_and_decode(fnw, old, new)
+        dcw_cost = int(POPCOUNT_TABLE[dcw_mask].sum())
+        fnw_cost = int(POPCOUNT_TABLE[fnw_mask].sum()) + plan.aux_bits
+        assert dcw_cost == 128
+        assert fnw_cost <= 4  # one flag per word
+
+    def test_fnw_word_guarantee(self):
+        """FNW programs at most w/2 data cells + 1 flag per w-bit word."""
+        rng = np.random.default_rng(2)
+        fnw = FNW(word_bytes=4)
+        old = rng.integers(0, 256, 32, dtype=np.uint8)
+        new = rng.integers(0, 256, 32, dtype=np.uint8)
+        plan, mask, _, _ = apply_and_decode(fnw, old, new)
+        per_word = POPCOUNT_TABLE[mask].reshape(8, 4).sum(axis=1)
+        assert (per_word <= 16).all()
+
+    def test_minshift_finds_rotation(self):
+        """A byte-rotated overwrite should cost ~only tag bits."""
+        old = np.array([1, 2, 3, 4] * 4, dtype=np.uint8)
+        new = np.array([4, 1, 2, 3] * 4, dtype=np.uint8)  # rot by 1
+        scheme = MinShift(word_bytes=4)
+        plan, mask, _, decoded = apply_and_decode(scheme, old, new)
+        assert np.array_equal(decoded, new)
+        assert int(POPCOUNT_TABLE[mask].sum()) == 0
+        assert plan.aux_bits == 4 * scheme.tag_bits_per_word
+
+    def test_minshift_validation(self):
+        with pytest.raises(ValueError):
+            MinShift(word_bytes=1)
+
+    def test_captopril_degenerates_to_fnw_when_cold(self):
+        """With no wear history, Captopril's decision matches FNW."""
+        rng = np.random.default_rng(3)
+        old = rng.integers(0, 256, 16, dtype=np.uint8)
+        new = rng.integers(0, 256, 16, dtype=np.uint8)
+        _, cap_mask, _, _ = apply_and_decode(Captopril(), old, new)
+        _, fnw_mask, _, _ = apply_and_decode(FNW(), old, new)
+        assert np.array_equal(cap_mask, fnw_mask)
+
+    def test_captopril_avoids_hot_positions(self):
+        """After heavy wear on specific positions, Captopril prefers the
+        candidate that spares them."""
+        cap = Captopril(word_bytes=4, hot_weight=50.0)
+        # Burn in: make bit positions 0..15 (first two bytes) very hot.
+        hot = np.zeros(32, dtype=np.float64)
+        hot[:16] = 1000.0
+        cap._position_wear = hot
+        old = np.array([0x00, 0x00, 0x00, 0x00], dtype=np.uint8)
+        # Option plain: flips concentrated on hot bytes; option flipped:
+        # flips on cold bytes.
+        new = np.array([0xFF, 0xFF, 0x00, 0x00], dtype=np.uint8)
+        plan, mask, _, decoded = apply_and_decode(cap, old, new)
+        assert np.array_equal(decoded, new)
+        # The flipped candidate (~new) programs the two cold bytes instead.
+        assert mask[0] == 0 and mask[1] == 0
+
+    def test_reset_clears_metadata(self):
+        for scheme in (FNW(), MinShift(), Captopril(), FMR()):
+            old = np.zeros(8, dtype=np.uint8)
+            new = np.full(8, 0xFF, dtype=np.uint8)
+            apply_and_decode(scheme, old, new)
+            scheme.reset()
+            # After reset, stored bytes decode as-is (no flags remembered).
+            raw = np.arange(8, dtype=np.uint8)
+            assert np.array_equal(scheme.decode(0, raw), raw)
+
+
+class TestOddSizes:
+    @pytest.mark.parametrize("scheme_cls", [FNW, MinShift, Captopril, FMR, FPC])
+    @pytest.mark.parametrize("n", [1, 3, 5, 7, 9, 15])
+    def test_non_word_multiple_lengths(self, scheme_cls, n):
+        rng = np.random.default_rng(n)
+        scheme = scheme_cls()
+        old = rng.integers(0, 256, n, dtype=np.uint8)
+        new = rng.integers(0, 256, n, dtype=np.uint8)
+        _, _, _, decoded = apply_and_decode(scheme, old, new)
+        assert np.array_equal(decoded, new)

@@ -1,0 +1,114 @@
+"""Dynamic Address Pool tests: FIFO semantics, fallback, thread safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.address_pool import DynamicAddressPool
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicAddressPool(0)
+
+    def test_populate_and_counts(self):
+        pool = DynamicAddressPool(3)
+        pool.populate([0, 0, 1, 2, 2, 2], [10, 20, 30, 40, 50, 60])
+        assert pool.sizes() == {0: 2, 1: 1, 2: 3}
+        assert pool.free_count() == 6
+        assert pool.min_cluster_free() == 1
+
+    def test_get_is_fifo(self):
+        """The paper takes 'the first available address in the cluster'."""
+        pool = DynamicAddressPool(2)
+        pool.populate([0, 0, 0], [100, 200, 300])
+        assert pool.get(0) == 100
+        assert pool.get(0) == 200
+
+    def test_add_recycles(self):
+        pool = DynamicAddressPool(2)
+        pool.add(1, 42)
+        assert pool.get(1) == 42
+
+    def test_add_bad_cluster_raises(self):
+        with pytest.raises(KeyError):
+            DynamicAddressPool(2).add(5, 1)
+
+    def test_exhausted_raises(self):
+        pool = DynamicAddressPool(2)
+        with pytest.raises(RuntimeError):
+            pool.get(0)
+
+    def test_drain_empties_everything(self):
+        pool = DynamicAddressPool(2)
+        pool.populate([0, 1, 1], [1, 2, 3])
+        assert sorted(pool.drain()) == [1, 2, 3]
+        assert pool.free_count() == 0
+
+
+class TestFallback:
+    def test_fallback_without_centroids_uses_fullest(self):
+        pool = DynamicAddressPool(3)
+        pool.populate([1, 1, 2], [10, 20, 30])
+        # Cluster 0 is empty; the fullest non-empty is 1.
+        assert pool.get(0) == 10
+
+    def test_fallback_with_centroids_uses_nearest(self):
+        pool = DynamicAddressPool(3)
+        pool.populate([1, 1, 2], [10, 20, 30])
+        centroids = np.array([[0.0, 0.0], [5.0, 5.0], [0.5, 0.5]])
+        # Cluster 0's nearest neighbour is cluster 2 despite cluster 1 being
+        # fuller.
+        assert pool.get(0, centroids=centroids) == 30
+
+    def test_fallback_exhaustion(self):
+        pool = DynamicAddressPool(2)
+        pool.populate([1], [10])
+        pool.get(0)
+        with pytest.raises(RuntimeError):
+            pool.get(0)
+
+
+class TestFootprint:
+    def test_footprint_scales_with_entries(self):
+        small = DynamicAddressPool(4)
+        small.populate([0] * 10, range(10))
+        large = DynamicAddressPool(4)
+        large.populate([0] * 1000, range(1000))
+        assert large.memory_footprint_bytes() > small.memory_footprint_bytes()
+
+    def test_footprint_formula(self):
+        pool = DynamicAddressPool(2)
+        pool.populate([0, 1], [1, 2])
+        expected = 2 * pool.BYTES_PER_ENTRY + 2 * pool.BYTES_PER_CLUSTER
+        assert pool.memory_footprint_bytes() == expected
+
+
+class TestThreadSafety:
+    def test_concurrent_get_add(self):
+        """Hammer the pool from several threads; every address must be
+        handed out exactly once per residence in the pool."""
+        pool = DynamicAddressPool(4)
+        n = 400
+        pool.populate([i % 4 for i in range(n)], range(n))
+        claimed: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(n // 8):
+                try:
+                    addr = pool.get(0)
+                except RuntimeError:
+                    return
+                with lock:
+                    claimed.append(addr)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(claimed) == len(set(claimed))
+        assert len(claimed) + pool.free_count() == n

@@ -1,0 +1,68 @@
+"""Config and retrain-policy tests."""
+
+import pytest
+
+from repro.core.config import E2NVMConfig, fast_test_config
+from repro.core.retraining import RetrainPolicy
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = E2NVMConfig()
+        assert config.n_clusters == 10
+        assert config.padding_strategy == "zero"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            E2NVMConfig(n_clusters=0)
+        with pytest.raises(ValueError):
+            E2NVMConfig(retrain_threshold=-1)
+        with pytest.raises(ValueError):
+            E2NVMConfig(hidden=())
+
+    def test_hidden_normalised_to_tuple(self):
+        config = E2NVMConfig(hidden=[64, 32])
+        assert config.hidden == (64, 32)
+
+    def test_fast_config_overrides(self):
+        config = fast_test_config(n_clusters=7, seed=99)
+        assert config.n_clusters == 7
+        assert config.seed == 99
+        # Other fast-test values kept.
+        assert config.pretrain_epochs == 3
+
+    def test_fast_config_returns_fresh_instances(self):
+        a = fast_test_config()
+        b = fast_test_config()
+        assert a is not b
+
+
+class TestRetrainPolicy:
+    def test_fires_when_threshold_and_cooldown_met(self):
+        policy = RetrainPolicy(min_free_per_cluster=2, cooldown_writes=0)
+        assert policy.should_retrain(1, 50, 5) is True
+        assert policy.triggers == 1
+
+    def test_threshold_not_tripped(self):
+        policy = RetrainPolicy(min_free_per_cluster=2, cooldown_writes=0)
+        assert policy.should_retrain(2, 50, 5) is False
+
+    def test_cooldown_blocks(self):
+        policy = RetrainPolicy(min_free_per_cluster=2, cooldown_writes=10)
+        assert policy.should_retrain(0, 50, 5) is False
+        for _ in range(10):
+            policy.record_write()
+        assert policy.should_retrain(0, 50, 5) is True
+
+    def test_retrain_resets_cooldown(self):
+        policy = RetrainPolicy(min_free_per_cluster=1, cooldown_writes=5)
+        for _ in range(5):
+            policy.record_write()
+        assert policy.should_retrain(0, 50, 5) is True
+        policy.record_retrain()
+        assert policy.should_retrain(0, 50, 5) is False
+
+    def test_needs_enough_free_to_train(self):
+        policy = RetrainPolicy(min_free_per_cluster=1, cooldown_writes=0)
+        assert policy.should_retrain(0, 3, 5) is False
+        assert policy.should_retrain(0, 5, 5) is True

@@ -1,0 +1,118 @@
+"""KV store tests: CRUD, update recycling, scans, model checking."""
+
+import numpy as np
+import pytest
+
+from repro.core import KVStore
+from tests.conftest import make_engine
+
+
+class TestCRUD:
+    def test_put_get(self, kvstore):
+        kvstore.put(b"key1", b"value1")
+        assert kvstore.get(b"key1") == b"value1"
+
+    def test_get_missing_returns_none(self, kvstore):
+        assert kvstore.get(b"nope") is None
+
+    def test_update_replaces(self, kvstore):
+        kvstore.put(b"k", b"old")
+        kvstore.put(b"k", b"new value")
+        assert kvstore.get(b"k") == b"new value"
+        assert len(kvstore) == 1
+
+    def test_update_recycles_old_address(self, kvstore):
+        kvstore.put(b"k", b"old")
+        free_before = kvstore.engine.dap.free_count()
+        kvstore.put(b"k", b"new")
+        # One claimed, one released: net zero.
+        assert kvstore.engine.dap.free_count() == free_before
+
+    def test_delete(self, kvstore):
+        kvstore.put(b"k", b"v")
+        assert kvstore.delete(b"k") is True
+        assert kvstore.get(b"k") is None
+        assert kvstore.delete(b"k") is False
+
+    def test_delete_recycles(self, kvstore):
+        kvstore.put(b"k", b"v")
+        free_before = kvstore.engine.dap.free_count()
+        kvstore.delete(b"k")
+        assert kvstore.engine.dap.free_count() == free_before + 1
+
+    def test_contains_and_len(self, kvstore):
+        kvstore.put(b"a", b"1")
+        kvstore.put(b"b", b"2")
+        assert b"a" in kvstore
+        assert b"z" not in kvstore
+        assert len(kvstore) == 2
+
+    def test_type_validation(self, kvstore):
+        with pytest.raises(TypeError):
+            kvstore.put("string-key", b"v")
+        with pytest.raises(TypeError):
+            kvstore.put(b"k", b"")
+
+
+class TestScan:
+    def test_scan_ordered_range(self, kvstore):
+        for i in [5, 1, 9, 3, 7]:
+            kvstore.put(b"k%02d" % i, b"v%02d" % i)
+        result = kvstore.scan(b"k03", b"k07")
+        assert [k for k, _ in result] == [b"k03", b"k05", b"k07"]
+        assert [v for _, v in result] == [b"v03", b"v05", b"v07"]
+
+    def test_scan_empty_range(self, kvstore):
+        kvstore.put(b"a", b"1")
+        assert kvstore.scan(b"x", b"z") == []
+
+    def test_items_and_keys_in_order(self, kvstore):
+        for key in (b"c", b"a", b"b"):
+            kvstore.put(key, b"v-" + key)
+        assert list(kvstore.keys()) == [b"a", b"b", b"c"]
+        assert list(kvstore.items()) == [
+            (b"a", b"v-a"), (b"b", b"v-b"), (b"c", b"v-c")
+        ]
+
+
+class TestModelChecking:
+    def test_against_dict_model(self):
+        """Random CRUD stream must match a plain dict at every step."""
+        kv = KVStore(make_engine(seed=21))
+        model: dict[bytes, bytes] = {}
+        rng = np.random.default_rng(0)
+        keys = [b"key%02d" % i for i in range(20)]
+        for step in range(300):
+            key = keys[int(rng.integers(0, len(keys)))]
+            op = rng.random()
+            if op < 0.5:
+                value = bytes(rng.integers(0, 256, 24, dtype=np.uint8))
+                kv.put(key, value)
+                model[key] = value
+            elif op < 0.75:
+                assert kv.get(key) == model.get(key), step
+            else:
+                assert kv.delete(key) == (key in model)
+                model.pop(key, None)
+        for key in keys:
+            assert kv.get(key) == model.get(key)
+        assert len(kv) == len(model)
+
+    def test_values_of_mixed_sizes(self, kvstore):
+        sizes = [1, 7, 13, 32, 64]
+        for i, size in enumerate(sizes):
+            kvstore.put(b"k%d" % i, bytes([i + 1]) * size)
+        for i, size in enumerate(sizes):
+            assert kvstore.get(b"k%d" % i) == bytes([i + 1]) * size
+
+    def test_fill_and_drain(self):
+        """Fill a large fraction of the pool, then drain it completely."""
+        kv = KVStore(make_engine(seed=22))
+        n = 100
+        for i in range(n):
+            kv.put(b"key%03d" % i, b"payload-%03d" % i)
+        assert len(kv) == n
+        for i in range(n):
+            assert kv.delete(b"key%03d" % i)
+        assert len(kv) == 0
+        assert kv.engine.dap.free_count() == 128

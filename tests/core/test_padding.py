@@ -1,0 +1,161 @@
+"""Padding strategy tests (§4.1): placement, types, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.padding import (
+    DatasetDistributionTracker,
+    Padder,
+    assemble,
+    split_pad_counts,
+)
+from repro.ml.lstm import LSTMPredictor
+
+
+class TestSplitPadCounts:
+    def test_begin(self):
+        assert split_pad_counts(4, "begin") == (4, 0)
+
+    def test_end(self):
+        assert split_pad_counts(4, "end") == (0, 4)
+
+    def test_edges_even(self):
+        assert split_pad_counts(4, "edges") == (2, 2)
+
+    def test_edges_odd(self):
+        assert split_pad_counts(5, "edges") == (3, 2)
+
+    def test_middle(self):
+        assert split_pad_counts(4, "middle") == (2, 2)
+
+    def test_unknown_position(self):
+        with pytest.raises(ValueError):
+            split_pad_counts(4, "diagonal")
+
+
+class TestAssemble:
+    def setup_method(self):
+        self.data = np.array([1.0, 2.0, 3.0, 4.0])
+        self.before = np.array([9.0, 9.0])
+        self.after = np.array([8.0, 8.0])
+
+    def test_begin(self):
+        out = assemble(self.data, self.before, self.after, "begin")
+        assert out.tolist() == [9, 9, 8, 8, 1, 2, 3, 4]
+
+    def test_end(self):
+        out = assemble(self.data, self.before, self.after, "end")
+        assert out.tolist() == [1, 2, 3, 4, 9, 9, 8, 8]
+
+    def test_edges(self):
+        out = assemble(self.data, self.before, self.after, "edges")
+        assert out.tolist() == [9, 9, 1, 2, 3, 4, 8, 8]
+
+    def test_middle_splits_data(self):
+        out = assemble(self.data, self.before, self.after, "middle")
+        assert out.tolist() == [1, 2, 9, 9, 8, 8, 3, 4]
+
+
+class TestTracker:
+    def test_prior_is_half(self):
+        assert DatasetDistributionTracker().ones_fraction == 0.5
+
+    def test_tracks_running_fraction(self):
+        tracker = DatasetDistributionTracker()
+        tracker.observe(np.array([1, 1, 1, 0]))
+        assert tracker.ones_fraction == pytest.approx(0.75)
+        tracker.observe(np.array([0, 0, 0, 0]))
+        assert tracker.ones_fraction == pytest.approx(0.375)
+
+
+class TestPadder:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Padder(0)
+        with pytest.raises(ValueError):
+            Padder(8, strategy="fancy")
+        with pytest.raises(ValueError):
+            Padder(8, position="sideways")
+        with pytest.raises(ValueError):
+            Padder(8, strategy="learned")  # needs an LSTM
+
+    def test_oversized_item_raises(self):
+        with pytest.raises(ValueError):
+            Padder(8).pad(np.ones(9))
+
+    def test_exact_size_is_identity(self):
+        data = np.array([1.0, 0.0, 1.0, 1.0])
+        out = Padder(4).pad(data)
+        assert np.array_equal(out, data)
+
+    def test_zero_padding(self):
+        out = Padder(8, strategy="zero", position="end").pad(np.ones(4))
+        assert out.tolist() == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_one_padding(self):
+        out = Padder(8, strategy="one", position="begin").pad(np.zeros(4))
+        assert out.tolist() == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_output_length_always_target(self):
+        for strategy in ("zero", "one", "random", "input", "dataset"):
+            for position in ("begin", "end", "middle", "edges"):
+                padder = Padder(
+                    16, strategy=strategy, position=position, seed=1
+                )
+                out = padder.pad(np.ones(5))
+                assert out.size == 16, (strategy, position)
+
+    def test_data_bits_preserved_in_output(self):
+        """Whatever the strategy, the original data bits appear intact at
+        their position."""
+        data = np.array([1.0, 0.0, 0.0, 1.0])
+        padder = Padder(8, strategy="random", position="begin", seed=2)
+        out = padder.pad(data)
+        assert np.array_equal(out[-4:], data)
+
+    def test_input_based_distribution(self):
+        """IB padding matches the item's own ones fraction (§4.1.2 example:
+        d1=[0,0,0,1] pads with P(1)=0.25)."""
+        padder = Padder(4096 + 4, strategy="input", position="end", seed=3)
+        data = np.array([0.0, 0.0, 0.0, 1.0])
+        out = padder.pad(data)
+        pad_bits = out[4:]
+        assert abs(pad_bits.mean() - 0.25) < 0.05
+
+    def test_dataset_based_uses_history(self):
+        padder = Padder(1028, strategy="dataset", position="end", seed=4)
+        # Feed history that is 90% ones.
+        padder.tracker.observe(np.ones(9000))
+        padder.tracker.observe(np.zeros(1000))
+        out = padder.pad(np.zeros(4))
+        assert out[4:].mean() > 0.8
+
+    def test_memory_based_requires_fraction(self):
+        padder = Padder(8, strategy="memory")
+        with pytest.raises(ValueError):
+            padder.pad(np.ones(4))
+        out = padder.pad(np.ones(4), memory_ones_fraction=1.0)
+        assert out.tolist() == [1.0] * 8
+
+    def test_random_padding_deterministic_by_seed(self):
+        a = Padder(64, strategy="random", seed=9).pad(np.ones(8))
+        b = Padder(64, strategy="random", seed=9).pad(np.ones(8))
+        assert np.array_equal(a, b)
+
+    def test_learned_padding_end(self):
+        lstm = LSTMPredictor(window_bits=16, chunk_bits=8, hidden_dim=8, seed=0)
+        pattern = np.tile([1, 0], 40).astype(float)
+        lstm.fit(np.stack([pattern] * 6), epochs=5)
+        padder = Padder(32, strategy="learned", position="end", lstm=lstm)
+        out = padder.pad(pattern[:24])
+        assert out.size == 32
+        assert np.array_equal(out[:24], pattern[:24])
+        assert set(np.unique(out[24:])) <= {0.0, 1.0}
+
+    def test_learned_padding_begin_uses_reversed_model(self):
+        lstm = LSTMPredictor(window_bits=16, chunk_bits=8, hidden_dim=8, seed=1)
+        pattern = np.tile([1, 1, 0, 0], 20).astype(float)
+        lstm.fit(np.stack([pattern] * 6), epochs=5)
+        padder = Padder(32, strategy="learned", position="begin", lstm=lstm)
+        out = padder.pad(pattern[:24])
+        assert np.array_equal(out[8:], pattern[:24])

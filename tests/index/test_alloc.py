@@ -1,0 +1,54 @@
+"""Segment allocator tests."""
+
+import pytest
+
+from repro.index.alloc import SegmentAllocator
+from repro.nvm import MemoryController, NVMDevice
+
+
+def make_alloc(n_segments=8, start=0):
+    device = NVMDevice(capacity_bytes=n_segments * 64, segment_size=64)
+    return SegmentAllocator(MemoryController(device), start_segment=start)
+
+
+class TestSegmentAllocator:
+    def test_bump_allocation_is_sequential(self):
+        alloc = make_alloc()
+        assert alloc.allocate() == 0
+        assert alloc.allocate() == 64
+        assert alloc.allocate() == 128
+
+    def test_start_segment_offset(self):
+        alloc = make_alloc(start=3)
+        assert alloc.allocate() == 3 * 64
+
+    def test_free_list_reuse(self):
+        alloc = make_alloc()
+        first = alloc.allocate()
+        alloc.allocate()
+        alloc.free(first)
+        assert alloc.allocate() == first
+
+    def test_exhaustion(self):
+        alloc = make_alloc(n_segments=2)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(RuntimeError):
+            alloc.allocate()
+
+    def test_free_then_exhaustion_recovers(self):
+        alloc = make_alloc(n_segments=2)
+        a = alloc.allocate()
+        alloc.allocate()
+        alloc.free(a)
+        assert alloc.allocate() == a
+        with pytest.raises(RuntimeError):
+            alloc.allocate()
+
+    def test_segments_in_use(self):
+        alloc = make_alloc()
+        a = alloc.allocate()
+        alloc.allocate()
+        assert alloc.segments_in_use == 2
+        alloc.free(a)
+        assert alloc.segments_in_use == 1

@@ -1,0 +1,187 @@
+"""End-to-end integration: the full stack under realistic flows."""
+
+import pytest
+
+from repro.core import E2NVM, KVStore
+from repro.core.config import fast_test_config
+from repro.index import BPlusTree, PluggedValues
+from repro.nvm import (
+    MemoryController,
+    NVMDevice,
+    SegmentSwapWearLeveling,
+)
+from repro.workloads.datasets import bits_to_values, make_image_dataset
+from repro.workloads.ycsb import WORKLOADS, YCSBWorkload
+
+
+def clustered_engine(seed=0, n_segments=128, segment=64, **cfg):
+    bits, _ = make_image_dataset(
+        n_segments, segment * 8, n_classes=4, noise=0.06, seed=seed
+    )
+    device = NVMDevice(
+        capacity_bytes=n_segments * segment, segment_size=segment,
+        initial_fill="zero",
+    )
+    controller = MemoryController(device)
+    for i, value in enumerate(bits_to_values(bits)):
+        controller.write(i * segment, value)
+    device.reset_stats()
+    engine = E2NVM(controller, fast_test_config(n_clusters=4, seed=seed, **cfg))
+    engine.train()
+    return engine, device
+
+
+class TestKVStoreUnderYCSB:
+    def test_workload_a_consistency(self):
+        engine, _ = clustered_engine(seed=1, n_segments=256)
+        store = KVStore(engine)
+        workload = YCSBWorkload(
+            WORKLOADS["A"], record_count=60, operation_count=300,
+            value_size=48, seed=1,
+        )
+        model = {}
+        for key, value in workload.load_phase():
+            store.put(key, value)
+            model[key] = value
+        for op in workload.operations():
+            if op[0] == "read":
+                assert store.get(op[1]) == model.get(op[1])
+            else:
+                store.put(op[1], op[2])
+                model[op[1]] = op[2]
+        assert len(store) == len(model)
+
+    def test_workload_e_scans(self):
+        engine, _ = clustered_engine(seed=2, n_segments=256)
+        store = KVStore(engine)
+        workload = YCSBWorkload(
+            WORKLOADS["E"], record_count=50, operation_count=100,
+            value_size=32, seed=2,
+        )
+        for key, value in workload.load_phase():
+            store.put(key, value)
+        for op in workload.operations():
+            if op[0] == "scan":
+                results = store.scan(op[1], op[1] + b"\xff")
+                assert all(k >= op[1] for k, _ in results)
+            elif op[0] == "insert":
+                store.put(op[1], op[2])
+
+
+class TestStackComposition:
+    def test_engine_over_wear_leveled_controller(self):
+        """E2-NVM above a swapping controller still round-trips data."""
+        device = NVMDevice(
+            capacity_bytes=128 * 64, segment_size=64,
+            initial_fill="random", seed=3,
+        )
+        controller = MemoryController(
+            device, wear_leveling=SegmentSwapWearLeveling(period=5, seed=3)
+        )
+        engine = E2NVM(controller, fast_test_config(seed=3))
+        engine.train()
+        store = KVStore(engine)
+        for i in range(60):
+            store.put(b"k%02d" % (i % 30), b"value-%04d" % i)
+        for i in range(30):
+            expected = b"value-%04d" % (30 + i)
+            assert store.get(b"k%02d" % i) == expected
+
+    def test_btree_plugged_into_engine_full_flow(self):
+        engine, _ = clustered_engine(seed=4, n_segments=256)
+        index_device = NVMDevice(
+            capacity_bytes=256 * 256, segment_size=256,
+            initial_fill="random", seed=4,
+        )
+        tree = BPlusTree(
+            MemoryController(index_device), values=PluggedValues(engine)
+        )
+        payload = bits_to_values(
+            make_image_dataset(100, 512, n_classes=4, noise=0.06, seed=4)[0]
+        )
+        for i, value in enumerate(payload):
+            tree.put(b"key%03d" % (i % 40), value)
+        # Every key readable; engine and index agree on liveness.
+        live = {b"key%03d" % (i % 40) for i in range(100)}
+        for key in live:
+            assert tree.get(key) is not None
+        assert engine.allocated_count == len(live)
+
+    def test_retrain_mid_workload_preserves_store(self):
+        engine, _ = clustered_engine(seed=5, n_segments=256)
+        store = KVStore(engine)
+        for i in range(40):
+            store.put(b"key%02d" % i, b"v%02d" % i)
+        engine.train()  # synchronous retrain with live data
+        for i in range(40):
+            assert store.get(b"key%02d" % i) == b"v%02d" % i
+        store.put(b"new", b"after-retrain")
+        assert store.get(b"new") == b"after-retrain"
+
+
+class TestFailureInjection:
+    def test_pool_exhaustion_is_clean(self):
+        engine, _ = clustered_engine(seed=6, n_segments=128)
+        store = KVStore(engine)
+        for i in range(128):
+            store.put(b"key%03d" % i, b"x" * 16)
+        with pytest.raises(RuntimeError):
+            store.put(b"overflow", b"y")
+        # The store is still readable after the failed insert.
+        assert store.get(b"key000") == b"x" * 16
+
+    def test_delete_everything_then_reuse(self):
+        engine, _ = clustered_engine(seed=7, n_segments=128)
+        store = KVStore(engine)
+        for round_idx in range(3):
+            for i in range(100):
+                store.put(b"k%03d" % i, bytes([round_idx]) * 24)
+            for i in range(100):
+                assert store.delete(b"k%03d" % i)
+            assert engine.dap.free_count() == 128
+
+    def test_oversized_write_does_not_leak_pool_entries(self):
+        engine, _ = clustered_engine(seed=8)
+        free_before = engine.dap.free_count()
+        with pytest.raises(ValueError):
+            engine.write(b"z" * 65)
+        assert engine.dap.free_count() == free_before
+
+
+class TestEnergyAccountingConsistency:
+    def test_stats_add_up_across_components(self):
+        engine, device = clustered_engine(seed=9)
+        store = KVStore(engine)
+        for i in range(30):
+            store.put(b"key%02d" % i, b"payload-%02d" % i)
+        stats = device.stats
+        assert stats.writes >= 30
+        assert stats.write_energy_pj > 0
+        assert stats.bits_flipped <= stats.bits_programmed
+        # Per-write energy is at least the static command cost.
+        assert (
+            stats.write_energy_pj / stats.writes
+            >= device.energy_model.static_write_energy_pj
+        )
+
+    def test_flip_reduction_vs_naive_end_to_end(self):
+        """The whole point, end to end: E2-NVM + DCW programs far fewer
+        bits than a naive controller with arbitrary placement."""
+        from repro.baselines import NaiveWrite
+
+        engine, device = clustered_engine(seed=10, n_segments=256)
+        store = KVStore(engine)
+        bits, _ = make_image_dataset(150, 512, n_classes=4, noise=0.06, seed=10)
+        for i, value in enumerate(bits_to_values(bits)):
+            store.put(b"k%03d" % (i % 50), value)
+        smart_bits = device.stats.bits_programmed
+
+        naive_device = NVMDevice(
+            capacity_bytes=256 * 64, segment_size=64, initial_fill="zero"
+        )
+        naive_controller = MemoryController(naive_device, scheme=NaiveWrite())
+        for i, value in enumerate(bits_to_values(bits)):
+            naive_controller.write((i % 256) * 64, value)
+        naive_bits = naive_device.stats.bits_programmed
+
+        assert smart_bits < 0.3 * naive_bits

@@ -1,0 +1,71 @@
+"""Hypothesis stateful model-checking of the KV store."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import KVStore
+from tests.conftest import make_engine
+
+KEYS = [b"key%02d" % i for i in range(12)]
+
+
+class KVStoreMachine(RuleBasedStateMachine):
+    """Random interleavings of put/get/delete/scan vs a dict model."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.store = KVStore(make_engine(seed=61))
+        self.model: dict[bytes, bytes] = {}
+        self._counter = 0
+
+    @rule(key=st.sampled_from(KEYS), size=st.integers(1, 64))
+    def put(self, key: bytes, size: int) -> None:
+        self._counter += 1
+        value = (b"%04d" % self._counter) * 16
+        value = value[:size]
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=st.sampled_from(KEYS))
+    def get(self, key: bytes) -> None:
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete(self, key: bytes) -> None:
+        assert self.store.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(lo=st.integers(0, 11), hi=st.integers(0, 11))
+    def scan(self, lo: int, hi: int) -> None:
+        lo, hi = min(lo, hi), max(lo, hi)
+        got = self.store.scan(KEYS[lo], KEYS[hi])
+        expected = sorted(
+            (k, v) for k, v in self.model.items()
+            if KEYS[lo] <= k <= KEYS[hi]
+        )
+        assert got == expected
+
+    @invariant()
+    def sizes_agree(self) -> None:
+        if hasattr(self, "store"):
+            assert len(self.store) == len(self.model)
+
+    @invariant()
+    def pool_conservation(self) -> None:
+        if hasattr(self, "store"):
+            engine = self.store.engine
+            assert (
+                engine.dap.free_count() + engine.allocated_count == 128
+            )
+
+
+TestKVStoreStateful = KVStoreMachine.TestCase
+TestKVStoreStateful.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,58 @@
+"""Batching/splitting helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import iterate_minibatches, train_val_split
+
+
+class TestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(100, 1)
+        train, val = train_val_split(X, val_fraction=0.2, seed=0)
+        assert len(train) == 80
+        assert len(val) == 20
+
+    def test_partition_is_complete(self):
+        X = np.arange(50).reshape(50, 1)
+        train, val = train_val_split(X, val_fraction=0.3, seed=1)
+        combined = sorted(np.concatenate([train, val]).ravel().tolist())
+        assert combined == list(range(50))
+
+    def test_deterministic_with_seed(self):
+        X = np.arange(30).reshape(30, 1)
+        a = train_val_split(X, 0.2, seed=7)
+        b = train_val_split(X, 0.2, seed=7)
+        assert np.array_equal(a[0], b[0])
+
+    def test_validation_bounds(self):
+        with pytest.raises(ValueError):
+            train_val_split(np.zeros((4, 1)), val_fraction=1.0)
+        with pytest.raises(ValueError):
+            train_val_split(np.zeros((4, 1)), val_fraction=-0.1)
+
+    def test_zero_fraction(self):
+        X = np.arange(10).reshape(10, 1)
+        train, val = train_val_split(X, 0.0, seed=2)
+        assert len(train) == 10 and len(val) == 0
+
+
+class TestMinibatches:
+    def test_covers_all_rows(self):
+        X = np.arange(25).reshape(25, 1)
+        seen = np.concatenate(list(iterate_minibatches(X, 8, seed=0)))
+        assert sorted(seen.ravel().tolist()) == list(range(25))
+
+    def test_batch_sizes(self):
+        X = np.zeros((25, 2))
+        sizes = [len(b) for b in iterate_minibatches(X, 8, seed=0)]
+        assert sizes == [8, 8, 8, 1]
+
+    def test_no_shuffle_preserves_order(self):
+        X = np.arange(10).reshape(10, 1)
+        batches = list(iterate_minibatches(X, 4, shuffle=False))
+        assert batches[0].ravel().tolist() == [0, 1, 2, 3]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((4, 1)), 0))

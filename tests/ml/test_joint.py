@@ -1,0 +1,104 @@
+"""Joint VAE+K-means tests: clustering quality and the DEC-style loop."""
+
+import numpy as np
+import pytest
+
+from repro.ml.joint import JointVAEKMeans
+from repro.workloads.datasets import make_image_dataset
+
+
+def small_model(**kwargs):
+    defaults = dict(
+        input_dim=32,
+        n_clusters=3,
+        latent_dim=4,
+        hidden=(16,),
+        pretrain_epochs=4,
+        joint_epochs=2,
+        batch_size=32,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return JointVAEKMeans(**defaults)
+
+
+class TestJointVAEKMeans:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_model(n_clusters=0)
+
+    def test_fit_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            small_model().fit(np.zeros((2, 32)))
+
+    def test_untrained_access_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = small_model().centroids
+
+    def test_predict_labels_in_range(self):
+        bits, _ = make_image_dataset(100, 32, n_classes=3, seed=1)
+        model = small_model().fit(bits)
+        labels = model.predict(bits)
+        assert set(np.unique(labels)) <= set(range(3))
+
+    def test_predict_one_matches_batch(self):
+        bits, _ = make_image_dataset(60, 32, n_classes=3, seed=2)
+        model = small_model(seed=2).fit(bits)
+        batch = model.predict(bits[:5])
+        for i in range(5):
+            assert model.predict_one(bits[i]) == batch[i]
+
+    def test_history_contains_all_stages(self):
+        bits, _ = make_image_dataset(80, 32, n_classes=3, seed=3)
+        model = small_model(seed=3).fit(bits)
+        assert len(model.history["train_loss"]) == 4
+        assert len(model.history["joint_loss"]) == 2
+
+    def test_recovers_planted_classes(self):
+        """Clean 2-class data should split cleanly into 2 clusters."""
+        bits, truth = make_image_dataset(200, 48, n_classes=2, noise=0.03, seed=4)
+        model = JointVAEKMeans(
+            48, n_clusters=2, latent_dim=4, hidden=(24,),
+            pretrain_epochs=12, joint_epochs=4, seed=4,
+        ).fit(bits)
+        pred = model.predict(bits)
+        # Majority label agreement under the best permutation.
+        agree = max(
+            (pred == truth).mean(),
+            (pred == 1 - truth).mean(),
+        )
+        assert agree > 0.9
+
+    def test_clustering_groups_similar_bits(self):
+        """Same-cluster members should be closer in Hamming distance than
+        different-cluster members — the property E2-NVM relies on."""
+        bits, _ = make_image_dataset(150, 32, n_classes=3, noise=0.05, seed=5)
+        model = small_model(seed=5, pretrain_epochs=10, joint_epochs=3).fit(bits)
+        labels = model.predict(bits)
+        within, between = [], []
+        for i in range(0, 60):
+            for j in range(i + 1, 60):
+                d = np.abs(bits[i] - bits[j]).sum()
+                (within if labels[i] == labels[j] else between).append(d)
+        if within and between:
+            assert np.mean(within) < np.mean(between)
+
+    def test_sse_is_nonnegative_and_decreases_with_k(self):
+        bits, _ = make_image_dataset(120, 32, n_classes=4, seed=6)
+        sses = []
+        for k in (2, 4, 8):
+            model = small_model(n_clusters=k, seed=6).fit(bits)
+            sses.append(model.sse(bits))
+        assert all(s >= 0 for s in sses)
+        assert sses[-1] <= sses[0]
+
+    def test_cluster_grad_points_to_centroid(self):
+        bits, _ = make_image_dataset(60, 32, n_classes=3, seed=7)
+        model = small_model(seed=7).fit(bits)
+        z = model.transform(bits[:10])
+        loss, grad = model._cluster_grad(z)
+        assert loss >= 0
+        assert grad.shape == z.shape
+        # Moving z against the gradient must reduce the clustering loss.
+        loss2, _ = model._cluster_grad(z - 0.5 * grad * len(z) / model.gamma)
+        assert loss2 <= loss + 1e-9

@@ -1,0 +1,148 @@
+"""Dense layer and activation tests, including finite-difference gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro.ml.activations import Identity, ReLU, Sigmoid, Tanh, get_activation
+from repro.ml.layers import Dense
+from repro.ml.network import MLP
+
+
+def numerical_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name,cls", [
+        ("identity", Identity), ("relu", ReLU), ("sigmoid", Sigmoid),
+        ("tanh", Tanh),
+    ])
+    def test_lookup_by_name(self, name, cls):
+        assert isinstance(get_activation(name), cls)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_activation("swish")
+
+    def test_instance_passthrough(self):
+        act = ReLU()
+        assert get_activation(act) is act
+
+    def test_relu_forward(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert ReLU().forward(x).tolist() == [0.0, 0.0, 2.0]
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        out = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    @pytest.mark.parametrize("act", [Identity(), ReLU(), Sigmoid(), Tanh()])
+    def test_backward_matches_numerical(self, act):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5,)) + 0.1  # avoid ReLU kink at 0
+        out = act.forward(x)
+        grad = act.backward(np.ones_like(x), out)
+        num = numerical_grad(lambda: act.forward(x).sum(), x)
+        assert np.allclose(grad, num, atol=1e-5)
+
+
+class TestDense:
+    def test_shapes(self):
+        layer = Dense(4, 3, seed=0)
+        out = layer.forward(np.zeros((7, 4)))
+        assert out.shape == (7, 3)
+
+    def test_bad_dims_raise(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+    def test_gradcheck_weights(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, activation="tanh", seed=1)
+        x = rng.normal(size=(6, 4))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(2.0 * out)
+        num_W = numerical_grad(loss, layer.W)
+        num_b = numerical_grad(loss, layer.b)
+        assert np.allclose(layer.grad_W, num_W, atol=1e-4)
+        assert np.allclose(layer.grad_b, num_b, atol=1e-4)
+
+    def test_gradcheck_input(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, activation="sigmoid", seed=2)
+        x = rng.normal(size=(4, 3))
+        out = layer.forward(x)
+        layer.zero_grad()
+        grad_in = layer.backward(2.0 * out)
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        num = numerical_grad(loss, x)
+        assert np.allclose(grad_in, num, atol=1e-4)
+
+    def test_grads_accumulate_until_zeroed(self):
+        layer = Dense(2, 2, seed=3)
+        x = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        first = layer.grad_W.copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        assert np.allclose(layer.grad_W, 2 * first)
+        layer.zero_grad()
+        assert not layer.grad_W.any()
+
+
+class TestMLP:
+    def test_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_forward_shape(self):
+        net = MLP((4, 8, 2), seed=0)
+        assert net.forward(np.zeros((5, 4))).shape == (5, 2)
+
+    def test_params_and_grads_align(self):
+        net = MLP((4, 8, 2), seed=0)
+        assert len(net.params) == len(net.grads) == 4  # 2 layers x (W, b)
+        for p, g in zip(net.params, net.grads):
+            assert p.shape == g.shape
+
+    def test_gradcheck_end_to_end(self):
+        rng = np.random.default_rng(4)
+        net = MLP((3, 5, 2), hidden_activation="tanh", seed=4)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float((net.forward(x) ** 2).sum())
+
+        net.zero_grad()
+        out = net.forward(x)
+        net.backward(2.0 * out)
+        for p, g in zip(net.params, net.grads):
+            num = numerical_grad(loss, p)
+            assert np.allclose(g, num, atol=1e-4)

@@ -1,0 +1,55 @@
+"""SSE and elbow-method tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import elbow_k, sum_squared_error
+
+
+class TestSSE:
+    def test_zero_for_points_on_centroids(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        labels = np.array([0, 1])
+        assert sum_squared_error(X, labels, X) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        X = np.array([[0.0], [2.0], [10.0]])
+        labels = np.array([0, 0, 1])
+        centers = np.array([[1.0], [10.0]])
+        assert sum_squared_error(X, labels, centers) == pytest.approx(2.0)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        labels = rng.integers(0, 4, size=50)
+        centers = rng.normal(size=(4, 3))
+        assert sum_squared_error(X, labels, centers) >= 0.0
+
+
+class TestElbow:
+    def test_detects_sharp_knee(self):
+        ks = [1, 2, 3, 4, 5, 6, 7, 8]
+        sse = [100, 60, 30, 10, 8, 7, 6.5, 6]
+        assert elbow_k(ks, sse) == 4
+
+    def test_knee_at_paper_like_curve(self):
+        """A CIFAR-like curve bending around K=6, as in Figure 8."""
+        ks = list(range(1, 13))
+        sse = [120, 90, 68, 50, 38, 30, 27, 25, 23.5, 22.5, 22, 21.5]
+        assert elbow_k(ks, sse) in (5, 6, 7)
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError):
+            elbow_k([1, 2], [5, 3])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            elbow_k([1, 2, 3], [5, 3])
+
+    def test_flat_curve_returns_first(self):
+        assert elbow_k([1, 2, 3, 4], [5, 5, 5, 5]) in (1, 2, 3, 4)
+
+    def test_linear_curve_has_no_strong_preference(self):
+        # A straight line has zero distance everywhere; any answer in range.
+        result = elbow_k([1, 2, 3, 4, 5], [50, 40, 30, 20, 10])
+        assert 1 <= result <= 5

@@ -1,0 +1,68 @@
+"""PCA tests: variance capture, reconstruction, orthonormality."""
+
+import numpy as np
+import pytest
+
+from repro.ml.pca import PCA
+
+
+def low_rank_data(n=100, d=10, rank=3, seed=0):
+    rng = np.random.default_rng(seed)
+    basis = rng.normal(size=(rank, d))
+    scales = 5.0 / (1.0 + np.arange(rank))
+    coeffs = rng.normal(size=(n, rank)) * scales
+    return coeffs @ basis + rng.normal(0.0, 0.01, size=(n, d))
+
+
+class TestPCA:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCA(0)
+        with pytest.raises(ValueError):
+            PCA(2).fit(np.zeros((1, 3)))
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((2, 3)))
+
+    def test_transform_shape(self):
+        X = low_rank_data()
+        Z = PCA(3).fit_transform(X)
+        assert Z.shape == (100, 3)
+
+    def test_components_are_orthonormal(self):
+        pca = PCA(4).fit(low_rank_data())
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_low_rank_data_reconstructs_well(self):
+        X = low_rank_data()
+        pca = PCA(3).fit(X)
+        recon = pca.inverse_transform(pca.transform(X))
+        rel_err = np.linalg.norm(X - recon) / np.linalg.norm(X)
+        assert rel_err < 0.05
+
+    def test_explained_variance_sums_near_one_for_full_rank(self):
+        X = low_rank_data(rank=3)
+        pca = PCA(3).fit(X)
+        assert pca.explained_variance_ratio_.sum() > 0.99
+
+    def test_explained_variance_descending(self):
+        pca = PCA(5).fit(low_rank_data(rank=5, seed=1))
+        evr = pca.explained_variance_ratio_
+        assert all(a >= b - 1e-12 for a, b in zip(evr, evr[1:]))
+
+    def test_components_capped_by_data(self):
+        X = np.random.default_rng(2).normal(size=(4, 3))
+        pca = PCA(10).fit(X)
+        assert pca.components_.shape[0] <= 3
+
+    def test_transform_centers_data(self):
+        X = low_rank_data(seed=3) + 100.0
+        pca = PCA(2).fit(X)
+        Z = pca.transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_single_row_transform(self):
+        X = low_rank_data(seed=4)
+        pca = PCA(2).fit(X)
+        z = pca.transform(X[0])
+        assert z.shape == (1, 2)

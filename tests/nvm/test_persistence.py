@@ -1,0 +1,93 @@
+"""Device snapshot/restore and wear-summary tests."""
+
+import numpy as np
+import pytest
+
+from repro.nvm import EnergyModel, MemoryController, NVMDevice
+
+
+class TestSnapshot:
+    def test_content_roundtrip(self, tmp_path):
+        device = NVMDevice(
+            capacity_bytes=8 * 64, segment_size=64, initial_fill="random",
+            seed=1,
+        )
+        device.program(0, bytes(range(64)))
+        path = tmp_path / "device.npz"
+        device.save(path)
+        restored = NVMDevice.load(path)
+        assert np.array_equal(restored.peek(0, 8 * 64), device.peek(0, 8 * 64))
+        assert restored.capacity_bytes == device.capacity_bytes
+        assert restored.segment_size == device.segment_size
+
+    def test_wear_counters_roundtrip(self, tmp_path):
+        device = NVMDevice(
+            capacity_bytes=4 * 64, segment_size=64, track_bit_wear=True
+        )
+        device.program(0, bytes([0xFF] * 64))
+        device.program(64, bytes([0x0F] * 64))
+        path = tmp_path / "worn.npz"
+        device.save(path)
+        restored = NVMDevice.load(path)
+        assert np.array_equal(restored.bit_wear, device.bit_wear)
+        assert np.array_equal(
+            restored.segment_write_count, device.segment_write_count
+        )
+
+    def test_snapshot_without_bit_wear(self, tmp_path):
+        device = NVMDevice(capacity_bytes=128, segment_size=64)
+        path = tmp_path / "plain.npz"
+        device.save(path)
+        restored = NVMDevice.load(path)
+        with pytest.raises(RuntimeError):
+            _ = restored.bit_wear
+
+    def test_stats_are_transient(self, tmp_path):
+        device = NVMDevice(capacity_bytes=128, segment_size=64)
+        device.program(0, bytes(64))
+        path = tmp_path / "stats.npz"
+        device.save(path)
+        restored = NVMDevice.load(path)
+        assert restored.stats.writes == 0
+
+    def test_restored_device_keeps_working(self, tmp_path):
+        device = NVMDevice(
+            capacity_bytes=8 * 64, segment_size=64, initial_fill="random",
+            seed=2,
+        )
+        controller = MemoryController(device)
+        controller.write(64, b"persist-me" + bytes(54))
+        path = tmp_path / "live.npz"
+        device.save(path)
+        restored = NVMDevice.load(path, energy_model=EnergyModel())
+        new_controller = MemoryController(restored)
+        assert new_controller.read(64, 10) == b"persist-me"
+        new_controller.write(128, bytes(range(64)))
+        assert new_controller.read(128, 64) == bytes(range(64))
+
+
+class TestWearSummary:
+    def test_segment_statistics(self):
+        device = NVMDevice(capacity_bytes=4 * 64, segment_size=64)
+        for _ in range(5):
+            device.program(0, bytes(64))
+        device.program(64, bytes(64))
+        summary = device.wear_summary()
+        assert summary["segment_writes_max"] == 5
+        assert summary["segment_writes_mean"] == pytest.approx(6 / 4)
+
+    def test_bit_wear_statistics(self):
+        device = NVMDevice(
+            capacity_bytes=2 * 64, segment_size=64, track_bit_wear=True
+        )
+        for _ in range(10):
+            device.program(0, bytes([0xFF] * 64))
+        summary = device.wear_summary(endurance=100)
+        assert summary["bit_wear_max"] == 10
+        assert summary["lifetime_consumed"] == pytest.approx(0.1)
+
+    def test_summary_without_bit_tracking(self):
+        device = NVMDevice(capacity_bytes=128, segment_size=64)
+        summary = device.wear_summary()
+        assert "bit_wear_max" not in summary
+        assert "segment_writes_max" in summary

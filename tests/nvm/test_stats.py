@@ -1,0 +1,60 @@
+"""DeviceStats arithmetic and derived metrics."""
+
+import pytest
+
+from repro.nvm.stats import DeviceStats
+
+
+class TestDeviceStats:
+    def test_snapshot_is_independent(self):
+        stats = DeviceStats(writes=3)
+        snap = stats.snapshot()
+        stats.writes = 10
+        assert snap.writes == 3
+
+    def test_subtraction(self):
+        a = DeviceStats(writes=10, bits_programmed=100, write_energy_pj=5.0)
+        b = DeviceStats(writes=4, bits_programmed=30, write_energy_pj=2.0)
+        d = a - b
+        assert d.writes == 6
+        assert d.bits_programmed == 70
+        assert d.write_energy_pj == pytest.approx(3.0)
+
+    def test_addition(self):
+        a = DeviceStats(reads=2, read_energy_pj=1.5)
+        b = DeviceStats(reads=3, read_energy_pj=2.5)
+        c = a + b
+        assert c.reads == 5
+        assert c.read_energy_pj == pytest.approx(4.0)
+
+    def test_total_energy(self):
+        s = DeviceStats(write_energy_pj=3.0, read_energy_pj=4.0)
+        assert s.total_energy_pj == pytest.approx(7.0)
+
+    def test_per_write_averages(self):
+        s = DeviceStats(writes=4, bits_programmed=100, write_energy_pj=200.0)
+        assert s.bits_programmed_per_write == pytest.approx(25.0)
+        assert s.energy_per_write_pj == pytest.approx(50.0)
+
+    def test_per_write_averages_empty(self):
+        s = DeviceStats()
+        assert s.bits_programmed_per_write == 0.0
+        assert s.energy_per_write_pj == 0.0
+
+
+class TestLatencyModel:
+    def test_latency_monotonicity(self):
+        from repro.nvm.latency import LatencyModel
+
+        model = LatencyModel()
+        assert model.write_latency(256, 2000, 4) > model.write_latency(256, 0, 0)
+        assert model.read_latency(256) > model.read_latency(64)
+
+    def test_latency_validation(self):
+        from repro.nvm.latency import LatencyModel
+
+        model = LatencyModel()
+        with pytest.raises(ValueError):
+            model.write_latency(0, 0, 0)
+        with pytest.raises(ValueError):
+            model.read_latency(-1)

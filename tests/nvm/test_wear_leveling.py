@@ -1,0 +1,127 @@
+"""Wear-leveling tests: mapping consistency and swap accounting."""
+
+import numpy as np
+import pytest
+
+from repro.nvm.controller import MemoryController
+from repro.nvm.device import NVMDevice
+from repro.nvm.wear_leveling import (
+    NoWearLeveling,
+    SegmentSwapWearLeveling,
+    StartGapWearLeveling,
+)
+
+
+def make_controller(wl, n_segments=16, seed=9):
+    dev = NVMDevice(
+        capacity_bytes=n_segments * 64,
+        segment_size=64,
+        initial_fill="random",
+        seed=seed,
+    )
+    return MemoryController(dev, wear_leveling=wl), dev
+
+
+class TestNoWearLeveling:
+    def test_identity_mapping(self):
+        controller, _ = make_controller(NoWearLeveling())
+        for seg in range(controller.n_segments):
+            assert controller.wear_leveling.to_physical(seg) == seg
+
+
+class TestSegmentSwap:
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            SegmentSwapWearLeveling(period=0)
+
+    def test_swap_fires_every_period(self):
+        wl = SegmentSwapWearLeveling(period=4, seed=0)
+        controller, _ = make_controller(wl)
+        for i in range(12):
+            controller.write((i % 4) * 64, bytes(64))
+        assert wl.swaps_performed == 3
+
+    def test_contents_survive_swapping(self):
+        wl = SegmentSwapWearLeveling(period=1, seed=1)
+        controller, _ = make_controller(wl)
+        rng = np.random.default_rng(2)
+        expected = {}
+        for i in range(60):
+            seg = int(rng.integers(0, controller.n_segments))
+            data = rng.integers(0, 256, 64, dtype=np.uint8).tobytes()
+            controller.write(seg * 64, data)
+            expected[seg] = data
+        for seg, data in expected.items():
+            assert controller.read(seg * 64, 64) == data
+
+    def test_mapping_is_bijective_after_swaps(self):
+        wl = SegmentSwapWearLeveling(period=1, seed=3)
+        controller, _ = make_controller(wl)
+        for i in range(40):
+            controller.write((i % controller.n_segments) * 64, bytes(64))
+        physical = [wl.to_physical(s) for s in range(controller.n_segments)]
+        assert sorted(physical) == list(range(controller.n_segments))
+
+    def test_swap_traffic_is_accounted(self):
+        wl = SegmentSwapWearLeveling(period=1, seed=4)
+        controller, device = make_controller(wl)
+        before = device.stats.writes
+        controller.write(0, bytes(64))  # triggers a swap: 2 extra programs
+        assert device.stats.writes >= before + 2
+
+    def test_unattached_raises(self):
+        with pytest.raises(RuntimeError):
+            SegmentSwapWearLeveling(period=2).to_physical(0)
+
+
+class TestStartGap:
+    def test_exposes_one_less_segment(self):
+        wl = StartGapWearLeveling(period=2)
+        controller, _ = make_controller(wl)
+        assert controller.n_segments == 15
+
+    def test_mapping_is_injective_and_avoids_gap(self):
+        wl = StartGapWearLeveling(period=1)
+        controller, _ = make_controller(wl)
+        for round_idx in range(50):
+            controller.write(
+                (round_idx % controller.n_segments) * 64, bytes(64)
+            )
+            physical = [
+                wl.to_physical(s) for s in range(controller.n_segments)
+            ]
+            assert len(set(physical)) == len(physical)
+            assert wl._gap not in physical
+
+    def test_contents_survive_gap_rotation(self):
+        wl = StartGapWearLeveling(period=1)
+        controller, _ = make_controller(wl)
+        rng = np.random.default_rng(5)
+        expected = {}
+        for i in range(100):
+            seg = int(rng.integers(0, controller.n_segments))
+            data = rng.integers(0, 256, 64, dtype=np.uint8).tobytes()
+            controller.write(seg * 64, data)
+            expected[seg] = data
+        for seg, data in expected.items():
+            assert controller.read(seg * 64, 64) == data
+
+    def test_gap_completes_revolutions(self):
+        wl = StartGapWearLeveling(period=1)
+        controller, _ = make_controller(wl, n_segments=4)
+        # 4 physical segments -> gap returns home every 4 moves.
+        for i in range(16):
+            controller.write((i % 3) * 64, bytes(64))
+        assert wl.moves_performed == 16
+
+    def test_too_small_device_raises(self):
+        wl = StartGapWearLeveling(period=1)
+        dev = NVMDevice(capacity_bytes=64, segment_size=64)
+        with pytest.raises(ValueError):
+            wl.attach(dev)
+
+    def test_out_of_range_logical_raises(self):
+        wl = StartGapWearLeveling(period=1)
+        make_controller(wl)
+        with pytest.raises(IndexError):
+            wl.to_physical(15)  # only 15 logical segments: 0..14

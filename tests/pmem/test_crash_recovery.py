@@ -1,0 +1,172 @@
+"""Crash-consistency tests: recovery from the media-resident undo log.
+
+A "crash" is simulated by abandoning the pool object mid-transaction and
+constructing a fresh :class:`PersistentPool` over the *same device* with
+``recover=True`` — exactly what a restart over real persistent memory does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nvm import MemoryController, NVMDevice
+from repro.pmem import PersistentPool
+
+
+def make_device(n_segments=24, seed=0):
+    return NVMDevice(
+        capacity_bytes=n_segments * 64,
+        segment_size=64,
+        initial_fill="random",
+        seed=seed,
+    )
+
+
+def crash_mid_transaction(device, payloads: list[tuple[int, bytes]]):
+    """Open a pool, write ``payloads`` inside a transaction, then 'crash'
+    (never commit).  Returns the allocated addresses."""
+    pool = PersistentPool(MemoryController(device), log_segments=8)
+    addrs = [pool.alloc() for _ in range(len(payloads))]
+    tx = pool.transaction()
+    tx.__enter__()
+    for addr, (_, data) in zip(addrs, payloads):
+        tx.write(addr, data)
+    # No __exit__: process dies here. The DRAM pool object is discarded.
+    return addrs
+
+
+class TestCrashRecovery:
+    def test_uncommitted_transaction_is_rolled_back(self):
+        device = make_device(seed=1)
+        pool = PersistentPool(MemoryController(device), log_segments=8)
+        addr = pool.alloc()
+        pool.write(addr, b"STABLE" + bytes(58))
+        # Crash mid-transaction on the same device.
+        tx = pool.transaction()
+        tx.__enter__()
+        tx.write(addr, b"TORN" + bytes(60))
+        del tx, pool
+
+        recovered = PersistentPool(
+            MemoryController(device), log_segments=8, recover=True
+        )
+        assert recovered.recovered_records == 1
+        assert recovered.read(addr, 6) == b"STABLE"
+
+    def test_multi_write_crash_rolls_back_everything(self):
+        device = make_device(seed=2)
+        baseline = {
+            64 * 8: device.peek(64 * 8, 64).tobytes(),
+            64 * 9: device.peek(64 * 9, 64).tobytes(),
+            64 * 10: device.peek(64 * 10, 64).tobytes(),
+        }
+        crash_mid_transaction(
+            device,
+            [(0, b"A" * 64), (1, b"B" * 64), (2, b"C" * 64)],
+        )
+        recovered = PersistentPool(
+            MemoryController(device), log_segments=8, recover=True
+        )
+        assert recovered.recovered_records == 3
+        for addr, old in baseline.items():
+            assert recovered.read(addr, 64) == old
+
+    def test_committed_transaction_survives_recovery(self):
+        device = make_device(seed=3)
+        pool = PersistentPool(MemoryController(device), log_segments=8)
+        addr = pool.alloc()
+        with pool.transaction() as tx:
+            tx.write(addr, b"DURABLE!" + bytes(56))
+        del pool
+
+        recovered = PersistentPool(
+            MemoryController(device), log_segments=8, recover=True
+        )
+        assert recovered.recovered_records == 0
+        assert recovered.read(addr, 8) == b"DURABLE!"
+
+    def test_clean_device_recovery_is_noop(self):
+        device = make_device(seed=4)
+        # Fresh random device: flag byte is random — initialise it first.
+        pool = PersistentPool(MemoryController(device), log_segments=8)
+        with pool.transaction() as tx:
+            pass
+        del pool
+        recovered = PersistentPool(
+            MemoryController(device), log_segments=8, recover=True
+        )
+        assert recovered.recovered_records == 0
+
+    def test_stale_records_from_prior_tx_not_replayed(self):
+        """After tx1 commits, a crash in a smaller tx2 must roll back only
+        tx2's records — the scan terminator stops before tx1 leftovers."""
+        device = make_device(seed=5)
+        pool = PersistentPool(MemoryController(device), log_segments=8)
+        a, b, c = pool.alloc(), pool.alloc(), pool.alloc()
+        with pool.transaction() as tx:  # tx1: three records
+            tx.write(a, b"1" * 64)
+            tx.write(b, b"2" * 64)
+            tx.write(c, b"3" * 64)
+        tx2 = pool.transaction()
+        tx2.__enter__()
+        tx2.write(a, b"X" * 64)  # tx2: one record, then crash
+        del tx2, pool
+
+        recovered = PersistentPool(
+            MemoryController(device), log_segments=8, recover=True
+        )
+        assert recovered.recovered_records == 1
+        assert recovered.read(a, 64) == b"1" * 64  # tx2 undone
+        assert recovered.read(b, 64) == b"2" * 64  # tx1 intact
+        assert recovered.read(c, 64) == b"3" * 64
+
+    def test_mark_allocated_restores_liveness(self):
+        device = make_device(seed=6)
+        pool = PersistentPool(MemoryController(device), log_segments=8)
+        addr = pool.alloc()
+        pool.write(addr, b"live" + bytes(60))
+        del pool
+        recovered = PersistentPool(
+            MemoryController(device), log_segments=8, recover=True
+        )
+        recovered.mark_allocated(addr)
+        with pytest.raises(KeyError):
+            recovered.mark_allocated(3)  # not a pool segment address
+        # The re-registered segment is not handed out again.
+        handed = {recovered.alloc() for _ in range(recovered.capacity_objects - 1)}
+        assert addr not in handed
+
+    def test_recovery_under_random_crashes(self):
+        """Random crash points across a random workload: the surviving
+        state always equals the last committed state."""
+        rng = np.random.default_rng(7)
+        device = make_device(n_segments=32, seed=7)
+        pool = PersistentPool(MemoryController(device), log_segments=8)
+        slots = [pool.alloc() for _ in range(6)]
+        committed = {addr: pool.read(addr, 64) for addr in slots}
+        for round_idx in range(25):
+            n_writes = int(rng.integers(1, 4))
+            writes = [
+                (slots[int(rng.integers(0, 6))],
+                 rng.integers(0, 256, 64, dtype=np.uint8).tobytes())
+                for _ in range(n_writes)
+            ]
+            crash = rng.random() < 0.5
+            if crash:
+                tx = pool.transaction()
+                tx.__enter__()
+                for addr, data in writes:
+                    tx.write(addr, data)
+                # Crash + restart.
+                pool = PersistentPool(
+                    MemoryController(device), log_segments=8, recover=True
+                )
+                for addr in slots:
+                    pool.mark_allocated(addr)
+            else:
+                with pool.transaction() as tx:
+                    for addr, data in writes:
+                        tx.write(addr, data)
+                for addr, data in writes:
+                    committed[addr] = data
+            for addr, expected in committed.items():
+                assert pool.read(addr, 64) == expected, round_idx

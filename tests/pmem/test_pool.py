@@ -1,0 +1,131 @@
+"""Persistent pool and transaction tests."""
+
+import pytest
+
+from repro.nvm import MemoryController, NVMDevice
+from repro.pmem import PersistentPool
+
+
+def make_pool(n_segments=16, log_segments=2, seed=0):
+    dev = NVMDevice(
+        capacity_bytes=n_segments * 64,
+        segment_size=64,
+        initial_fill="random",
+        seed=seed,
+    )
+    return PersistentPool(MemoryController(dev), log_segments=log_segments), dev
+
+
+class TestAllocator:
+    def test_capacity_excludes_log(self):
+        pool, _ = make_pool(n_segments=16, log_segments=2)
+        assert pool.capacity_objects == 14
+
+    def test_alloc_free_cycle(self):
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        pool.free(addr)
+        assert pool.alloc() is not None
+
+    def test_alloc_exhaustion(self):
+        pool, _ = make_pool(n_segments=4, log_segments=2)
+        pool.alloc()
+        pool.alloc()
+        with pytest.raises(RuntimeError):
+            pool.alloc()
+
+    def test_double_free_raises(self):
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        pool.free(addr)
+        with pytest.raises(KeyError):
+            pool.free(addr)
+
+    def test_allocations_avoid_log_region(self):
+        pool, _ = make_pool(log_segments=3)
+        for _ in range(pool.capacity_objects):
+            assert pool.alloc() >= 3 * 64
+
+    def test_validation(self):
+        dev = NVMDevice(capacity_bytes=128, segment_size=64)
+        with pytest.raises(ValueError):
+            PersistentPool(MemoryController(dev), log_segments=2)
+
+
+class TestTransactions:
+    def test_commit_persists(self):
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        with pool.transaction() as tx:
+            tx.write(addr, b"A" * 64)
+        assert pool.read(addr, 64) == b"A" * 64
+
+    def test_exception_rolls_back(self):
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        pool.write(addr, b"X" * 64)
+        with pytest.raises(ValueError):
+            with pool.transaction() as tx:
+                tx.write(addr, b"Y" * 64)
+                raise ValueError("boom")
+        assert pool.read(addr, 64) == b"X" * 64
+
+    def test_explicit_abort_is_swallowed(self):
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        pool.write(addr, b"X" * 64)
+        with pool.transaction() as tx:
+            tx.write(addr, b"Y" * 64)
+            tx.abort()
+        assert pool.read(addr, 64) == b"X" * 64
+
+    def test_multi_write_rollback_order(self):
+        pool, _ = make_pool(n_segments=16, log_segments=6)
+        a, b = pool.alloc(), pool.alloc()
+        pool.write(a, b"1" * 64)
+        pool.write(b, b"2" * 64)
+        with pool.transaction() as tx:
+            tx.write(a, b"3" * 64)
+            tx.write(b, b"4" * 64)
+            tx.write(a, b"5" * 64)  # second write to the same address
+            tx.abort()
+        assert pool.read(a, 64) == b"1" * 64
+        assert pool.read(b, 64) == b"2" * 64
+
+    def test_write_outside_transaction_raises(self):
+        pool, _ = make_pool()
+        tx = pool.transaction()
+        with pytest.raises(RuntimeError):
+            tx.write(pool.alloc(), b"x")
+
+    def test_undo_log_traffic_is_accounted(self):
+        """Transactional writes must cost more than raw writes (log traffic),
+        which is how PMDK overhead appears in Figure 1."""
+        pool_tx, dev_tx = make_pool(seed=5)
+        pool_raw, dev_raw = make_pool(seed=5)
+        addr_tx = pool_tx.alloc()
+        addr_raw = pool_raw.alloc()
+        payload = b"Z" * 64
+        with pool_tx.transaction() as tx:
+            tx.write(addr_tx, payload)
+        pool_raw.write(addr_raw, payload)
+        assert dev_tx.stats.writes > dev_raw.stats.writes
+        assert dev_tx.stats.write_energy_pj > dev_raw.stats.write_energy_pj
+
+    def test_log_reused_across_transactions(self):
+        """Each transaction restarts the per-tx undo log (PMDK style)."""
+        pool, _ = make_pool(n_segments=8, log_segments=2)
+        addr = pool.alloc()
+        for i in range(20):
+            with pool.transaction() as tx:
+                tx.write(addr, bytes([i]) * 64)
+        assert pool.read(addr, 64) == bytes([19]) * 64
+
+    def test_oversized_transaction_raises(self):
+        """A transaction bigger than the log region is rejected upfront."""
+        pool, _ = make_pool(n_segments=8, log_segments=2)
+        addrs = [pool.alloc() for _ in range(4)]
+        with pytest.raises(RuntimeError):
+            with pool.transaction() as tx:
+                for addr in addrs:
+                    tx.write(addr, b"Z" * 64)  # 4x(12+64+1) > 112 B of log

@@ -1,0 +1,81 @@
+"""Compute-cost model and phase-timeline tests."""
+
+import pytest
+
+from repro.profiling import ComputeCostModel, PhaseTimeline
+from repro.profiling.compute import mlp_flops_per_sample
+
+
+class TestComputeModel:
+    def test_mlp_flops(self):
+        assert mlp_flops_per_sample([4, 3]) == 24
+        assert mlp_flops_per_sample([4, 3, 2]) == 24 + 12
+
+    def test_training_flops_scale_with_samples_and_epochs(self):
+        model = ComputeCostModel()
+        base = model.vae_training_flops(128, (64,), 8, 100, 5)
+        assert model.vae_training_flops(128, (64,), 8, 200, 5) == 2 * base
+        assert model.vae_training_flops(128, (64,), 8, 100, 10) == 2 * base
+
+    def test_training_flops_scale_with_dims(self):
+        model = ComputeCostModel()
+        small = model.vae_training_flops(64, (32,), 4, 100, 5)
+        big = model.vae_training_flops(1024, (32,), 4, 100, 5)
+        assert big > small
+
+    def test_energy_and_latency_positive(self):
+        model = ComputeCostModel()
+        flops = model.prediction_flops(128, (64,), 8)
+        assert model.energy_pj(flops) > 0
+        assert model.latency_seconds(flops) > 0
+
+
+class TestPhaseTimeline:
+    def test_clock_advances(self):
+        tl = PhaseTimeline()
+        tl.record(1000.0, 0.5)
+        tl.record(2000.0, 0.25)
+        assert tl.now == pytest.approx(0.75)
+
+    def test_phase_energy_attribution(self):
+        tl = PhaseTimeline()
+        tl.begin_phase("train")
+        tl.record(5000.0, 1.0)
+        tl.begin_phase("write")
+        tl.record(3000.0, 1.0)
+        assert tl.total_energy_pj("train") == pytest.approx(5000.0)
+        assert tl.total_energy_pj("write") == pytest.approx(3000.0)
+        assert tl.total_energy_pj() == pytest.approx(8000.0)
+
+    def test_phase_marks(self):
+        tl = PhaseTimeline()
+        tl.record(1.0, 1.0)
+        tl.begin_phase("retrain")
+        marks = tl.phase_marks()
+        assert marks[0] == (0.0, "idle")
+        assert marks[1] == (1.0, "retrain")
+
+    def test_power_samples_conserve_energy(self):
+        tl = PhaseTimeline()
+        tl.record(1e12, 2.0)  # 1 J over 2 s -> 0.5 W average
+        t, watts = tl.power_samples(interval_s=0.1)
+        total_joules = float((watts * 0.1).sum())
+        assert total_joules == pytest.approx(1.0, rel=1e-6)
+        assert watts.max() == pytest.approx(0.5, rel=1e-6)
+
+    def test_power_samples_empty(self):
+        t, watts = PhaseTimeline().power_samples()
+        assert t.size == 0 and watts.size == 0
+
+    def test_zero_duration_events_fold_into_sample(self):
+        tl = PhaseTimeline()
+        tl.record(500.0, 0.0)
+        t, watts = tl.power_samples(interval_s=0.001)
+        assert watts.size == 1
+
+    def test_validation(self):
+        tl = PhaseTimeline()
+        with pytest.raises(ValueError):
+            tl.record(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            tl.power_samples(0.0)

@@ -1,0 +1,109 @@
+"""Unit and property tests for the bit-manipulation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    POPCOUNT_TABLE,
+    bits_to_bytes,
+    bytes_to_bits,
+    hamming_bytes,
+    hamming_distance,
+    popcount_array,
+)
+
+
+class TestPopcount:
+    def test_table_matches_bin_count(self):
+        for value in range(256):
+            assert POPCOUNT_TABLE[value] == bin(value).count("1")
+
+    def test_popcount_array_empty(self):
+        assert popcount_array(np.zeros(0, dtype=np.uint8)) == 0
+
+    def test_popcount_array_all_ones(self):
+        assert popcount_array(np.full(10, 0xFF, dtype=np.uint8)) == 80
+
+    def test_popcount_array_known(self):
+        assert popcount_array(np.array([0b1010, 0b1], dtype=np.uint8)) == 3
+
+
+class TestHamming:
+    def test_identical_is_zero(self):
+        a = np.arange(16, dtype=np.uint8)
+        assert hamming_bytes(a, a) == 0
+
+    def test_complement_is_all_bits(self):
+        a = np.arange(16, dtype=np.uint8)
+        assert hamming_bytes(a, np.bitwise_not(a)) == 128
+
+    def test_bytes_interface(self):
+        assert hamming_distance(b"\x00", b"\xff") == 8
+        assert hamming_distance(b"\x0f\xf0", b"\x00\x00") == 8
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance(b"ab", b"abc")
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_bytes(np.zeros(2, dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+    def test_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(
+        st.binary(min_size=8, max_size=32),
+        st.binary(min_size=8, max_size=32),
+        st.binary(min_size=8, max_size=32),
+    )
+    def test_triangle_inequality(self, a, b, c):
+        n = min(len(a), len(b), len(c))
+        a, b, c = a[:n], b[:n], c[:n]
+        assert hamming_distance(a, c) <= (
+            hamming_distance(a, b) + hamming_distance(b, c)
+        )
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_distance_to_self_is_zero(self, a):
+        assert hamming_distance(a, a) == 0
+
+
+class TestBitPacking:
+    def test_roundtrip_known(self):
+        data = b"\xa5\x3c"
+        bits = bytes_to_bits(data)
+        assert bits.tolist() == [1, 0, 1, 0, 0, 1, 0, 1, 0, 0, 1, 1, 1, 1, 0, 0]
+        assert bits_to_bytes(bits) == data
+
+    def test_bits_are_msb_first(self):
+        assert bytes_to_bits(b"\x80")[0] == 1.0
+        assert bytes_to_bits(b"\x01")[7] == 1.0
+
+    def test_probabilities_threshold(self):
+        probs = np.array([0.9, 0.4, 0.6, 0.1, 0.51, 0.49, 1.0, 0.0])
+        assert bits_to_bytes(probs) == bytes([0b10101010])
+
+    def test_non_multiple_of_8_raises(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones(7))
+
+    def test_accepts_uint8_array(self):
+        arr = np.array([0xFF, 0x00], dtype=np.uint8)
+        assert bytes_to_bits(arr).sum() == 8
+
+    @given(st.binary(min_size=1, max_size=256))
+    def test_roundtrip_property(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.binary(min_size=1, max_size=256))
+    def test_popcount_consistency(self, data):
+        bits = bytes_to_bits(data)
+        assert int(bits.sum()) == popcount_array(
+            np.frombuffer(data, dtype=np.uint8)
+        )

@@ -1,0 +1,26 @@
+"""RNG helper tests."""
+
+import numpy as np
+
+from repro.util.rng import rng_from_seed
+
+
+class TestRngFromSeed:
+    def test_int_seed_is_deterministic(self):
+        a = rng_from_seed(42).random(5)
+        b = rng_from_seed(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_from_seed(gen) is gen
+
+    def test_none_gives_fresh_generator(self):
+        gen = rng_from_seed(None)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_shared_stream_advances(self):
+        gen = np.random.default_rng(7)
+        first = rng_from_seed(gen).random()
+        second = rng_from_seed(gen).random()
+        assert first != second

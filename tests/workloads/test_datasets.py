@@ -1,0 +1,197 @@
+"""Synthetic dataset tests: shapes, determinism, clusterability, redundancy."""
+
+import numpy as np
+import pytest
+
+from repro.util.bits import hamming_distance
+from repro.workloads.datasets import (
+    bits_to_values,
+    cifar_like,
+    fashion_mnist_like,
+    imagenet_like,
+    make_image_dataset,
+    mnist_like,
+)
+from repro.workloads.mixing import DriftSchedule
+from repro.workloads.records import (
+    amazon_access_like,
+    pubmed_like,
+    records_to_bits,
+    road_network_like,
+)
+from repro.workloads.video import SyntheticVideo
+
+
+class TestImageDatasets:
+    def test_shape_and_binary(self):
+        bits, labels = make_image_dataset(50, 128, n_classes=4, seed=0)
+        assert bits.shape == (50, 128)
+        assert labels.shape == (50,)
+        assert set(np.unique(bits)) <= {0.0, 1.0}
+
+    def test_deterministic(self):
+        a, _ = make_image_dataset(20, 64, seed=5)
+        b, _ = make_image_dataset(20, 64, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_within_class_similarity(self):
+        bits, labels = make_image_dataset(100, 256, n_classes=3, noise=0.05, seed=1)
+        within, between = [], []
+        for i in range(50):
+            for j in range(i + 1, 50):
+                d = np.abs(bits[i] - bits[j]).sum()
+                (within if labels[i] == labels[j] else between).append(d)
+        assert np.mean(within) < np.mean(between)
+
+    def test_named_variants_shapes(self):
+        assert mnist_like(10)[0].shape == (10, 784)
+        assert fashion_mnist_like(10)[0].shape == (10, 784)
+        assert cifar_like(10)[0].shape == (10, 1024)
+        assert imagenet_like(5)[0].shape == (5, 4096)
+
+    def test_variants_differ(self):
+        a, _ = mnist_like(10)
+        b, _ = fashion_mnist_like(10)
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_image_dataset(0, 10)
+
+    def test_bits_to_values(self):
+        bits, _ = make_image_dataset(5, 64, seed=2)
+        values = bits_to_values(bits)
+        assert len(values) == 5
+        assert all(len(v) == 8 for v in values)
+
+    def test_bits_to_values_validation(self):
+        with pytest.raises(ValueError):
+            bits_to_values(np.zeros((2, 7)))
+
+
+class TestRecordDatasets:
+    @pytest.mark.parametrize("factory,size", [
+        (amazon_access_like, 64),
+        (road_network_like, 32),
+        (pubmed_like, 16),
+    ])
+    def test_record_sizes(self, factory, size):
+        records = factory(100, seed=0)
+        assert len(records) == 100
+        assert all(len(r) == size for r in records)
+
+    def test_amazon_records_cluster_by_user(self):
+        """Rows of the same user share the attribute block: same-user pairs
+        are far closer than cross-user pairs (the clusterable structure)."""
+        records = amazon_access_like(200, n_users=5, seed=1)
+        users = [r[0] for r in records]  # first byte of the packed user id
+        same, cross = [], []
+        for i in range(80):
+            for j in range(i + 1, 80):
+                d = hamming_distance(records[i], records[j])
+                (same if users[i] == users[j] else cross).append(d)
+        assert np.mean(same) < 0.5 * np.mean(cross)
+
+    def test_amazon_zipf_skew(self):
+        """A few users dominate the log (zipf-distributed user column)."""
+        records = amazon_access_like(500, n_users=12, seed=2)
+        users = [r[0] for r in records]
+        counts = sorted(
+            (users.count(u) for u in set(users)), reverse=True
+        )
+        assert counts[0] > len(records) * 0.3
+
+    def test_road_network_rows_are_spatially_correlated(self):
+        records = road_network_like(50, seed=2)
+        adjacent = [
+            hamming_distance(records[i], records[i + 1]) for i in range(49)
+        ]
+        far = [hamming_distance(records[0], records[i]) for i in range(25, 50)]
+        assert np.mean(adjacent) <= np.mean(far) + 8
+
+    def test_records_to_bits(self):
+        records = pubmed_like(10, seed=3)
+        bits = records_to_bits(records)
+        assert bits.shape == (10, 128)
+
+    def test_records_to_bits_validation(self):
+        with pytest.raises(ValueError):
+            records_to_bits([])
+        with pytest.raises(ValueError):
+            records_to_bits([b"ab", b"abc"])
+
+
+class TestVideo:
+    def test_frame_size(self):
+        video = SyntheticVideo(width=32, height=24, seed=0)
+        frames = list(video.frames(3))
+        assert len(frames) == 3
+        assert all(len(f) == 32 * 24 for f in frames)
+
+    def test_consecutive_frames_similar(self):
+        """Frame-to-frame redundancy: neighbours differ far less than the
+        ~50% of unrelated content (sensor noise in the low-order grayscale
+        bits keeps the floor above zero)."""
+        video = SyntheticVideo(width=32, height=24, noise=2.0, seed=1)
+        frames = list(video.frames(10))
+        total_bits = len(frames[0]) * 8
+        adjacent = [
+            hamming_distance(frames[i], frames[i + 1]) for i in range(9)
+        ]
+        rng = np.random.default_rng(0)
+        random_frame = rng.integers(0, 256, len(frames[0]), dtype=np.uint8)
+        unrelated = hamming_distance(frames[0], random_frame.tobytes())
+        assert np.mean(adjacent) < 0.35 * total_bits
+        assert np.mean(adjacent) < 0.7 * unrelated
+
+    def test_noiseless_frames_nearly_identical(self):
+        video = SyntheticVideo(width=32, height=24, noise=0.0, seed=1)
+        frames = list(video.frames(10))
+        total_bits = len(frames[0]) * 8
+        adjacent = [
+            hamming_distance(frames[i], frames[i + 1]) for i in range(9)
+        ]
+        assert np.mean(adjacent) < 0.05 * total_bits
+
+    def test_frames_are_not_identical(self):
+        video = SyntheticVideo(width=32, height=24, seed=2)
+        frames = list(video.frames(2))
+        assert frames[0] != frames[1]
+
+    def test_frame_bits_shape(self):
+        video = SyntheticVideo(width=16, height=8, seed=3)
+        bits = video.frame_bits(4)
+        assert bits.shape == (4, 16 * 8 * 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticVideo(width=2, height=2)
+        with pytest.raises(ValueError):
+            list(SyntheticVideo().frames(0))
+
+
+class TestDriftSchedule:
+    def test_phases_in_order(self):
+        schedule = (
+            DriftSchedule()
+            .add_phase("one", [b"a", b"b"])
+            .add_phase("two", [b"c"], retrain_before=True)
+        )
+        phases = list(schedule)
+        assert [p.name for p in phases] == ["one", "two"]
+        assert phases[1].retrain_before
+        assert schedule.total_items() == 3
+
+    def test_mixture_ratio(self):
+        src_a = [b"A"] * 10
+        src_b = [b"B"] * 10
+        schedule = DriftSchedule().add_mixture(
+            "mix", [src_a, src_b], [2.0, 1.0], n_items=3000, seed=0
+        )
+        values = schedule.phases[0].values
+        frac_a = sum(1 for v in values if v == b"A") / len(values)
+        assert abs(frac_a - 2 / 3) < 0.05
+
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            DriftSchedule().add_mixture("bad", [[b"a"]], [1.0, 2.0], 10)

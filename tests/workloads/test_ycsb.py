@@ -1,0 +1,125 @@
+"""YCSB workload tests: mixes, key validity, value structure."""
+
+from collections import Counter
+
+import pytest
+
+from repro.util.bits import hamming_distance
+from repro.workloads.ycsb import (
+    WORKLOADS,
+    PrototypeValueGenerator,
+    WorkloadSpec,
+    YCSBWorkload,
+)
+
+
+class TestSpec:
+    def test_core_workloads_defined(self):
+        assert set(WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", read=0.5, update=0.2)
+
+    def test_workload_d_uses_latest(self):
+        assert WORKLOADS["D"].distribution == "latest"
+
+
+class TestValueGenerator:
+    def test_size(self):
+        gen = PrototypeValueGenerator(100, seed=0)
+        assert len(gen.value()) == 100
+
+    def test_values_cluster_around_prototypes(self):
+        """Two values from the same prototype are close in Hamming distance;
+        the overall stream is clusterable (what E2-NVM needs)."""
+        gen = PrototypeValueGenerator(64, n_prototypes=4, noise=0.03, seed=1)
+        values = [gen.value() for _ in range(200)]
+        distances = [
+            hamming_distance(values[i], values[j])
+            for i in range(0, 40)
+            for j in range(i + 1, 40)
+        ]
+        # With 4 prototypes, ~1/4 of pairs share a prototype and are near;
+        # the rest are ~50% different (256 bits of 512).
+        near = sum(1 for d in distances if d < 100)
+        assert near > len(distances) * 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrototypeValueGenerator(0)
+        with pytest.raises(ValueError):
+            PrototypeValueGenerator(10, noise=2.0)
+
+
+class TestWorkload:
+    def test_load_phase_count_and_keys(self):
+        wl = YCSBWorkload(WORKLOADS["A"], 50, 0, value_size=16, seed=0)
+        records = list(wl.load_phase())
+        assert len(records) == 50
+        assert records[0][0] == b"user000000000000"
+        assert all(len(v) == 16 for _, v in records)
+
+    def test_operation_count(self):
+        wl = YCSBWorkload(WORKLOADS["A"], 50, 123, seed=1)
+        assert len(list(wl.operations())) == 123
+
+    @pytest.mark.parametrize("name,expected", [
+        ("A", {"read", "update"}),
+        ("B", {"read", "update"}),
+        ("C", {"read"}),
+        ("D", {"read", "insert"}),
+        ("E", {"scan", "insert"}),
+        ("F", {"read", "rmw"}),
+    ])
+    def test_mix_operations(self, name, expected):
+        wl = YCSBWorkload(WORKLOADS[name], 100, 2000, seed=2)
+        kinds = Counter(op[0] for op in wl.operations())
+        assert set(kinds) <= expected
+        # Dominant op matches the spec (>=90% where expected).
+        if name in ("B", "D"):
+            assert kinds["read"] / 2000 > 0.9
+        if name == "E":
+            assert kinds["scan"] / 2000 > 0.9
+
+    def test_mix_ratio_a(self):
+        wl = YCSBWorkload(WORKLOADS["A"], 100, 4000, seed=3)
+        kinds = Counter(op[0] for op in wl.operations())
+        assert abs(kinds["read"] / 4000 - 0.5) < 0.05
+
+    def test_inserts_extend_keyspace(self):
+        wl = YCSBWorkload(WORKLOADS["D"], 100, 2000, seed=4)
+        inserted = [op[1] for op in wl.operations() if op[0] == "insert"]
+        assert inserted
+        assert inserted[0] == YCSBWorkload.key(100)
+        assert len(set(inserted)) == len(inserted)
+
+    def test_reads_reference_existing_keys(self):
+        wl = YCSBWorkload(WORKLOADS["D"], 100, 1000, seed=5)
+        max_key = 100
+        for op in wl.operations():
+            if op[0] == "insert":
+                max_key += 1
+            else:
+                index = int(op[1].replace(b"user", b""))
+                assert 0 <= index < max_key
+
+    def test_scan_lengths_bounded(self):
+        wl = YCSBWorkload(WORKLOADS["E"], 100, 500, seed=6)
+        for op in wl.operations():
+            if op[0] == "scan":
+                assert 1 <= op[2] <= WORKLOADS["E"].max_scan_length
+
+    def test_zipfian_requests_are_skewed(self):
+        wl = YCSBWorkload(WORKLOADS["C"], 1000, 5000, seed=7)
+        keys = Counter(op[1] for op in wl.operations())
+        top = keys.most_common(1)[0][1]
+        assert top / 5000 > 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload(WORKLOADS["A"], 0, 10)
+        with pytest.raises(ValueError):
+            YCSBWorkload(
+                WorkloadSpec("x", read=1.0, distribution="normal"), 10, 10
+            )

@@ -1,0 +1,99 @@
+"""Distribution-generator tests: ranges, skew, growth."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipfian import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+
+def draw(gen, n=5000):
+    return np.array([gen.next() for _ in range(n)])
+
+
+class TestUniform:
+    def test_range(self):
+        samples = draw(UniformGenerator(10, seed=0))
+        assert samples.min() >= 0 and samples.max() < 10
+
+    def test_roughly_flat(self):
+        samples = draw(UniformGenerator(10, seed=1), n=20_000)
+        counts = np.bincount(samples, minlength=10)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_grow(self):
+        gen = UniformGenerator(5, seed=2)
+        gen.grow(50)
+        samples = draw(gen)
+        assert samples.max() >= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+        with pytest.raises(ValueError):
+            UniformGenerator(10).grow(5)
+
+
+class TestZipfian:
+    def test_range(self):
+        samples = draw(ZipfianGenerator(100, seed=0))
+        assert samples.min() >= 0 and samples.max() < 100
+
+    def test_rank_zero_most_popular(self):
+        samples = draw(ZipfianGenerator(100, seed=1), n=20_000)
+        counts = np.bincount(samples, minlength=100)
+        assert counts[0] == counts.max()
+        # Popularity decreases over ranks (head vs tail).
+        assert counts[:10].sum() > counts[50:60].sum()
+
+    def test_skew_matches_theta(self):
+        """With theta=0.99, the hottest item draws a large share."""
+        samples = draw(ZipfianGenerator(1000, seed=2), n=20_000)
+        counts = np.bincount(samples, minlength=1000)
+        assert counts[0] / len(samples) > 0.05
+
+    def test_grow_keeps_distribution_valid(self):
+        gen = ZipfianGenerator(50, seed=3)
+        gen.grow(100)
+        samples = draw(gen)
+        assert samples.max() < 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+
+class TestScrambled:
+    def test_range(self):
+        samples = draw(ScrambledZipfianGenerator(100, seed=4))
+        assert samples.min() >= 0 and samples.max() < 100
+
+    def test_hotspot_is_spread(self):
+        """Scrambling moves the hottest key away from rank 0 (usually)."""
+        samples = draw(ScrambledZipfianGenerator(1000, seed=5), n=10_000)
+        counts = np.bincount(samples, minlength=1000)
+        assert counts.max() / len(samples) > 0.05  # still skewed
+        # Hot keys are spread: the top-10 hottest are not all in 0..9.
+        hottest = np.argsort(counts)[-10:]
+        assert hottest.max() > 10
+
+
+class TestLatest:
+    def test_skews_to_newest(self):
+        gen = LatestGenerator(100, seed=6)
+        samples = draw(gen, n=10_000)
+        counts = np.bincount(samples, minlength=100)
+        assert counts[99] == counts.max()
+
+    def test_grow_shifts_head(self):
+        gen = LatestGenerator(100, seed=7)
+        gen.grow(200)
+        samples = draw(gen, n=10_000)
+        counts = np.bincount(samples, minlength=200)
+        assert counts[199] == counts.max()
