@@ -1,13 +1,23 @@
 """Operational example: the retraining lifecycle of a long-lived store.
 
-Shows the three §4.1.4 / §5.3 mechanisms working together on a store whose
+Shows the §4.1.4 / §5.3 mechanisms working together on a store whose
 content distribution drifts:
 
 1. the retrain *policy* notices a cluster's free list starving;
 2. `train_async` retrains in the background while writes continue, then
    swaps the model atomically;
-3. the refreshed model is snapshotted with `save_joint` so a restart (or
+3. retraining is *transactional*: a fault-injected training failure leaves
+   the Dynamic Address Pool byte-identical and the old model serving, with
+   the failure recorded on `engine.retrain_stats`;
+4. the refreshed model is snapshotted with `save_joint` so a restart (or
    another node) can load it without retraining.
+
+Failure semantics in one paragraph: `train()` / `train_async()` fit a fresh
+candidate model off to the side and swap model + relabelled pool atomically
+only on success — any exception restores the pool and keeps the old model.
+`maybe_retrain()` (the `auto_retrain` path) never blocks or fails a write:
+with fewer free segments than clusters the retrain is deferred and retried
+later, while placement degrades to the pool's first-fit fallback.
 
 Run:  python examples/retraining_lifecycle.py
 """
@@ -15,6 +25,7 @@ Run:  python examples/retraining_lifecycle.py
 from repro import E2NVMConfig, MemoryController, NVMDevice
 from repro.core import E2NVM
 from repro.ml.serialization import load_joint, save_joint
+from repro.testing import FaultError, FaultInjector
 from repro.workloads.datasets import bits_to_values, make_image_dataset
 
 SEGMENT = 64
@@ -77,6 +88,23 @@ def main() -> None:
     recovered = flips_over(engine, era2_values[120:200])
     print(f"era-2 stream on retrained model: {recovered:.0f} bits/write "
           f"({1 - recovered / drift_flips:.0%} better)")
+
+    # Retraining is transactional: inject a training failure and show the
+    # engine shrug it off — pool untouched, old model still serving.
+    engine.faults = FaultInjector()
+    engine.faults.arm("train.fit", error=FaultError("injected crash"), times=1)
+    pool_before = engine.dap.snapshot()
+    thread = engine.train_async()
+    thread.join()
+    assert engine.dap.snapshot() == pool_before
+    assert engine.retrain_stats.failed == 1
+    survived = flips_over(engine, era2_values[200:240])
+    print(f"injected retrain failure absorbed: pool byte-identical, "
+          f"old model still serving at {survived:.0f} bits/write")
+    stats = engine.retrain_stats.as_dict()
+    print("retrain stats: " + ", ".join(
+        f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in stats.items()))
 
     # Snapshot the refreshed model for restarts / other nodes.
     save_joint(engine.pipeline.model, "/tmp/e2nvm-model.npz")

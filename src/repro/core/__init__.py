@@ -17,7 +17,7 @@ from repro.core.e2nvm import E2NVM
 from repro.core.kvstore import KVStore
 from repro.core.padding import Padder, PaddingPosition, PaddingStrategy
 from repro.core.pipeline import EncoderPipeline
-from repro.core.retraining import RetrainPolicy
+from repro.core.retraining import RetrainDecision, RetrainPolicy, RetrainStats
 
 __all__ = [
     "E2NVM",
@@ -28,7 +28,9 @@ __all__ = [
     "Padder",
     "PaddingStrategy",
     "PaddingPosition",
+    "RetrainDecision",
     "RetrainPolicy",
+    "RetrainStats",
     "WriteBatcher",
     "BatchLocator",
 ]

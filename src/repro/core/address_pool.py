@@ -80,6 +80,18 @@ class DynamicAddressPool:
         with self._lock:
             return [a for pool in self._pools.values() for a in pool]
 
+    def snapshot(self) -> dict[int, tuple[int, ...]]:
+        """Exact per-cluster contents, in order (transactional retrains
+        capture this before mutating and :meth:`restore` it on failure)."""
+        with self._lock:
+            return {c: tuple(pool) for c, pool in self._pools.items()}
+
+    def restore(self, snapshot: dict[int, tuple[int, ...]]) -> None:
+        """Reinstate a :meth:`snapshot` exactly, discarding current state."""
+        with self._lock:
+            for c in self._pools:
+                self._pools[c] = deque(snapshot.get(c, ()))
+
     def free_count(self) -> int:
         """Total free addresses across all clusters."""
         with self._lock:

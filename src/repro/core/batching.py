@@ -72,6 +72,7 @@ class WriteBatcher:
         self._buffer = bytearray()
         self._open_handles: list[PendingValue] = []
         self._live_bytes: dict[int, int] = {}  # batch addr -> live payload
+        self._dead: dict[int, set[int]] = {}  # batch addr -> deleted offsets
 
     @property
     def open_bytes(self) -> int:
@@ -120,12 +121,25 @@ class WriteBatcher:
         )
 
     def delete(self, locator: BatchLocator) -> None:
-        """Tombstone a value; releases the batch when it empties."""
+        """Tombstone a value; releases the batch when it empties.
+
+        Deleting the same locator twice raises ``KeyError`` — a repeated
+        delete must not double-decrement the batch's live-byte count (which
+        would prematurely release a batch still holding live values).
+        """
         if locator.batch_addr not in self._live_bytes:
             raise KeyError(f"unknown batch {locator.batch_addr}")
+        dead = self._dead.setdefault(locator.batch_addr, set())
+        if locator.offset in dead:
+            raise KeyError(
+                f"value at batch {locator.batch_addr} offset "
+                f"{locator.offset} is already deleted"
+            )
+        dead.add(locator.offset)
         self._live_bytes[locator.batch_addr] -= locator.length
         if self._live_bytes[locator.batch_addr] <= 0:
             del self._live_bytes[locator.batch_addr]
+            del self._dead[locator.batch_addr]
             self.engine.release(locator.batch_addr)
 
     def live_batches(self) -> int:

@@ -34,7 +34,12 @@ class E2NVMConfig:
         auto_retrain: let the engine retrain itself when the threshold
             trips; off by default so experiments control retrain timing.
         retrain_cooldown_writes: minimum writes between automatic retrains,
-            preventing thrash when the pool is nearly full.
+            preventing thrash when the pool is nearly full.  A failed
+            retrain also resets the cooldown, so retries back off.
+        ones_fraction_refresh_writes: refresh the memory ones-fraction used
+            by ``memory`` padding from a sample of free segments every this
+            many writes, so padding tracks content drift (0 disables).
+        ones_fraction_sample_segments: free segments sampled per refresh.
         lstm_window_bits / lstm_chunk_bits / lstm_hidden / lstm_epochs:
             learned-padding LSTM shape and schedule (§4.1.3; paper uses a
             64-bit window predicting 8 bits per step).
@@ -56,6 +61,8 @@ class E2NVMConfig:
     retrain_threshold: int = 1
     auto_retrain: bool = False
     retrain_cooldown_writes: int = 256
+    ones_fraction_refresh_writes: int = 1024
+    ones_fraction_sample_segments: int = 64
     lstm_window_bits: int = 64
     lstm_chunk_bits: int = 8
     lstm_hidden: int = 32
@@ -67,6 +74,10 @@ class E2NVMConfig:
             raise ValueError("n_clusters must be positive")
         if self.retrain_threshold < 0:
             raise ValueError("retrain_threshold must be non-negative")
+        if self.ones_fraction_refresh_writes < 0:
+            raise ValueError("ones_fraction_refresh_writes must be >= 0")
+        if self.ones_fraction_sample_segments <= 0:
+            raise ValueError("ones_fraction_sample_segments must be positive")
         self.hidden = tuple(self.hidden)
         if not self.hidden:
             raise ValueError("hidden must name at least one layer width")

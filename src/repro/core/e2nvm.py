@@ -11,18 +11,34 @@ and exposes the write path of Algorithm 1:
 
 and the recycle path of Algorithm 2: a freed segment's *current content* is
 re-encoded and the address returned to the matching cluster's free list.
+
+Retraining is *resilient* and *lazy* (§5.3):
+
+- every (re)training is transactional — a fresh candidate pipeline is
+  fitted off to the side, and the model plus a freshly relabelled pool are
+  swapped in atomically only on success.  The DAP is snapshotted, never
+  drained up front: any failure (a crashing fit, a failing relabel)
+  restores it byte-for-byte and the old model keeps serving writes;
+- ``maybe_retrain()`` (the ``auto_retrain`` path) never blocks ``write()``
+  and never fails a PUT.  It schedules a single-flight background worker;
+  when fewer than ``n_clusters`` segments are free the retrain is
+  *deferred* and retried on a later write, while placement degrades
+  gracefully to the pool's first-fit fallback;
+- every outcome is counted on ``engine.retrain_stats``
+  (started/succeeded/failed/deferred, pool restores, wall-clock).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
 from repro.core.address_pool import DynamicAddressPool
 from repro.core.config import E2NVMConfig
 from repro.core.pipeline import EncoderPipeline
-from repro.core.retraining import RetrainPolicy
+from repro.core.retraining import RetrainDecision, RetrainPolicy, RetrainStats
 from repro.nvm.controller import MemoryController
 from repro.nvm.device import WriteResult
 from repro.util.rng import rng_from_seed
@@ -34,28 +50,46 @@ class E2NVM:
     Args:
         controller: the NVM front-end the engine places writes on.
         config: hyperparameters; see :class:`E2NVMConfig`.
+        faults: optional :class:`repro.testing.faults.FaultInjector`.  When
+            set, the engine fires the ``"train.fit"``, ``"train.relabel"``
+            and ``"device.write"`` sites (and candidate pipelines fire
+            ``"pipeline.fit"``), letting tests force training failures,
+            slow fits, and device write errors.
     """
 
     def __init__(
-        self, controller: MemoryController, config: E2NVMConfig | None = None
+        self,
+        controller: MemoryController,
+        config: E2NVMConfig | None = None,
+        faults=None,
     ) -> None:
         self.controller = controller
         self.config = config or E2NVMConfig()
+        self.faults = faults
         self.segment_size = controller.segment_size
         self.input_bits = self.segment_size * 8
-        self.pipeline = EncoderPipeline(self.input_bits, self.config)
+        self.pipeline = EncoderPipeline(self.input_bits, self.config, faults)
         self.dap = DynamicAddressPool(self.config.n_clusters)
         self.policy = RetrainPolicy(
             min_free_per_cluster=self.config.retrain_threshold,
             cooldown_writes=self.config.retrain_cooldown_writes,
         )
-        self.retrain_count = 0
+        self.retrain_stats = RetrainStats()
+        self.last_retrain_error: BaseException | None = None
+        self.failed_writes = 0
         self._allocated: set[int] = set()
         self._rng = rng_from_seed(self.config.seed)
+        # The RNG is shared between the write path and the retrain worker.
+        self._rng_lock = threading.Lock()
         self._memory_ones_fraction = 0.5
         self._ones_fraction_age = 0
         # Serialises place/release against background model swaps.
         self._swap_lock = threading.RLock()
+        # Guards retrain scheduling state and stats counters.
+        self._retrain_admin_lock = threading.Lock()
+        self._retrain_thread: threading.Thread | None = None
+        self._retrain_in_flight = False
+        self._retrain_pending = False
 
     # ------------------------------------------------------------- training
 
@@ -72,6 +106,11 @@ class E2NVM:
     ) -> dict:
         """(Re)train the model on free-segment contents and rebuild the DAP.
 
+        Transactional: the current pool is only snapshotted while the
+        candidate model fits, and the model/pool swap happens atomically at
+        the end.  If anything raises, the DAP is left byte-identical to its
+        pre-call state and the previous model keeps serving.
+
         Args:
             addresses: optional subset of free addresses to index — the
                 "dynamic incremental approach" of §4.1.4 starts by indexing
@@ -81,37 +120,27 @@ class E2NVM:
         Returns the training history (loss curves) of the pipeline.
         """
         if addresses is not None:
-            free = list(addresses)
-            for addr in free:
+            fit_set = list(addresses)
+            for addr in fit_set:
                 self._check_segment_address(addr)
                 if addr in self._allocated:
                     raise ValueError(f"address {addr} is allocated")
+            swap_addresses: list[int] | None = fit_set
         elif self.pipeline.trained:
-            free = self.dap.drain() or self.free_addresses()
+            fit_set = self.dap.snapshot_addresses()
+            swap_addresses = None
+            if not fit_set:
+                fit_set = self.free_addresses()
+                swap_addresses = fit_set
         else:
-            free = self.free_addresses()
-        if len(free) < self.config.n_clusters:
+            fit_set = self.free_addresses()
+            swap_addresses = fit_set
+        if len(fit_set) < self.config.n_clusters:
             raise RuntimeError(
-                f"cannot train on {len(free)} free segments with "
+                f"cannot train on {len(fit_set)} free segments with "
                 f"n_clusters={self.config.n_clusters}"
             )
-        contents = self._segment_bits(free)
-
-        sample = contents
-        if len(free) > self.config.train_sample_limit:
-            pick = self._rng.choice(
-                len(free), size=self.config.train_sample_limit, replace=False
-            )
-            sample = contents[pick]
-        history = self.pipeline.fit(sample, verbose=verbose)
-
-        labels = self.pipeline.predict_segments(contents)
-        with self._swap_lock:
-            self.dap = DynamicAddressPool(self.config.n_clusters)
-            self.dap.populate(labels, free)
-        self._refresh_ones_fraction(contents)
-        self.policy.record_retrain()
-        return history
+        return self._run_training(fit_set, swap_addresses, verbose=verbose)
 
     def add_addresses(self, addresses: list[int]) -> None:
         """Incrementally index more free segments into the DAP (§4.1.4).
@@ -138,46 +167,63 @@ class E2NVM:
         stopped because the retraining is done in the background lazily"
         (§5.3): writes keep using the old model; when the new model is
         ready, the pipeline is swapped and the free pool re-clustered under
-        the swap lock.
+        the swap lock.  Retrains are single-flight: if one is already in
+        progress its thread is returned instead of starting another.
 
-        Returns the worker thread (join it to wait for the swap).
+        A training failure inside the worker never escapes the thread: it
+        is recorded on :attr:`retrain_stats` / :attr:`last_retrain_error`,
+        the DAP is left untouched, and the old model keeps serving.
+
+        Returns the worker thread (join it — or call
+        :meth:`wait_for_retrain` — to wait for the swap).
         """
         self._require_trained()
-        snapshot = self.dap.snapshot_addresses()
-        if len(snapshot) < self.config.n_clusters:
-            raise RuntimeError("not enough free segments to retrain on")
-        contents = self._segment_bits(snapshot)
-        sample = contents
-        if len(snapshot) > self.config.train_sample_limit:
-            pick = self._rng.choice(
-                len(snapshot), size=self.config.train_sample_limit,
-                replace=False,
-            )
-            sample = contents[pick]
-        new_pipeline = EncoderPipeline(self.input_bits, self.config)
+        if self._schedule_retrain():
+            return self._retrain_thread
+        with self._retrain_admin_lock:
+            thread = self._retrain_thread
+            in_flight = self._retrain_in_flight
+        if in_flight and thread is not None:
+            return thread
+        raise RuntimeError("not enough free segments to retrain on")
 
-        def worker() -> None:
-            new_pipeline.fit(sample)
-            with self._swap_lock:
-                free_now = self.dap.drain()
-                self.pipeline = new_pipeline
-                if free_now:
-                    labels = new_pipeline.predict_segments(
-                        self._segment_bits(free_now)
-                    )
-                    self.dap = DynamicAddressPool(self.config.n_clusters)
-                    self.dap.populate(labels, free_now)
-                self.retrain_count += 1
-                self.policy.record_retrain()
+    def wait_for_retrain(self, timeout: float | None = None) -> bool:
+        """Block until no background retrain is in flight.
 
-        thread = threading.Thread(target=worker, daemon=True)
-        thread.start()
-        return thread
+        Returns True when quiescent (also when none was running).
+        """
+        with self._retrain_admin_lock:
+            thread = self._retrain_thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
+    @property
+    def retrain_in_flight(self) -> bool:
+        """Whether a background retrain is currently running."""
+        with self._retrain_admin_lock:
+            return self._retrain_in_flight
+
+    @property
+    def retrain_count(self) -> int:
+        """Completed retrains (trainings after the first).
+
+        Counted in exactly one place — the successful atomic swap — so
+        direct :meth:`train` calls, :meth:`train_async`, and the
+        ``auto_retrain`` path all agree.
+        """
+        return self.retrain_stats.succeeded
 
     # ------------------------------------------------------------ operations
 
     def place(self, value: bytes | np.ndarray) -> int:
-        """Algorithm 1, lines 1–4: claim the best free address for a value."""
+        """Algorithm 1, lines 1–4: claim the best free address for a value.
+
+        When the predicted cluster is empty the pool falls back first-fit
+        to the nearest non-empty cluster, so placement degrades gracefully
+        instead of failing while a retrain is deferred or in flight.
+        """
         self._require_trained()
         with self._swap_lock:
             cluster = self.pipeline.predict_cluster(
@@ -192,6 +238,11 @@ class E2NVM:
 
         Only the value's own ``len(value)`` bytes are written — padded bits
         used for prediction never reach the media (§4.1).
+
+        A device write error un-claims the address (it is re-clustered back
+        into the DAP) before propagating.  The ``auto_retrain`` hook never
+        raises: retrain trouble is deferred and recorded, not propagated
+        into the PUT.
         """
         if len(value) > self.segment_size:
             raise ValueError(
@@ -199,11 +250,24 @@ class E2NVM:
                 f"{self.segment_size}"
             )
         addr = self.place(value)
-        result = self.controller.write(addr, value)
+        try:
+            if self.faults is not None:
+                self.faults.fire("device.write")
+            result = self.controller.write(addr, value)
+        except BaseException:
+            self.failed_writes += 1
+            self.release(addr)
+            raise
         self.policy.record_write()
-        self._ones_fraction_age += 1
+        self._note_write_for_ones_fraction()
         if self.config.auto_retrain:
-            self.maybe_retrain()
+            try:
+                self.maybe_retrain()
+            except Exception as exc:  # defensive: a PUT must never fail here
+                with self._retrain_admin_lock:
+                    self.retrain_stats.failed += 1
+                    self._retrain_pending = True
+                self.last_retrain_error = exc
         return addr, result
 
     def release(self, addr: int) -> None:
@@ -218,16 +282,32 @@ class E2NVM:
             self.dap.add(cluster, addr)
 
     def maybe_retrain(self) -> bool:
-        """Run the retrain policy; retrains and returns True when it fires."""
-        fire = self.policy.should_retrain(
+        """Run the retrain policy; starts a *background* retrain on FIRE.
+
+        Never blocks the write path and never raises.  When the policy
+        wants a retrain but fewer than ``n_clusters`` segments are free,
+        the retrain is deferred (``retrain_stats.deferred``) and retried on
+        a later call once capacity returns; writes meanwhile keep
+        succeeding through the DAP's first-fit fallback.
+
+        Returns True when a background retrain was started.
+        """
+        with self._retrain_admin_lock:
+            if self._retrain_in_flight:
+                return False
+            pending = self._retrain_pending
+        decision = self.policy.decide(
             self.dap.min_cluster_free(),
             self.dap.free_count(),
             self.config.n_clusters,
+            pending=pending,
         )
-        if fire:
-            self.train()
-            self.retrain_count += 1
-        return fire
+        if decision is RetrainDecision.SKIP:
+            return False
+        if decision is RetrainDecision.DEFER:
+            self._defer_retrain()
+            return False
+        return self._schedule_retrain()
 
     # ------------------------------------------------------------ inspection
 
@@ -247,12 +327,167 @@ class E2NVM:
 
     # -------------------------------------------------------------- internals
 
+    def _schedule_retrain(self) -> bool:
+        """Start the single-flight background retrain worker.
+
+        Returns False when one is already in flight or when fewer than
+        ``n_clusters`` segments are free (the attempt is then deferred).
+        """
+        with self._retrain_admin_lock:
+            if self._retrain_in_flight:
+                return False
+            fit_set = self.dap.snapshot_addresses()
+            if len(fit_set) < self.config.n_clusters:
+                self._defer_retrain_locked()
+                return False
+            self._retrain_pending = False
+            self._retrain_in_flight = True
+            thread = threading.Thread(
+                target=self._retrain_worker,
+                args=(fit_set,),
+                daemon=True,
+                name="e2nvm-retrain",
+            )
+            self._retrain_thread = thread
+        thread.start()
+        return True
+
+    def _retrain_worker(self, fit_set: list[int]) -> None:
+        try:
+            self._run_training(fit_set, swap_addresses=None)
+        except Exception as exc:
+            # Recorded, never propagated: the old model keeps serving and
+            # the attempt is retried after the cooldown backs off.
+            self.last_retrain_error = exc
+            with self._retrain_admin_lock:
+                self._retrain_pending = True
+        finally:
+            with self._retrain_admin_lock:
+                self._retrain_in_flight = False
+
+    def _defer_retrain(self) -> None:
+        with self._retrain_admin_lock:
+            self._defer_retrain_locked()
+
+    def _defer_retrain_locked(self) -> None:
+        if not self._retrain_pending:
+            self._retrain_pending = True
+            self.retrain_stats.deferred += 1
+
+    def _run_training(
+        self,
+        fit_set: list[int],
+        swap_addresses: list[int] | None,
+        verbose: bool = False,
+    ) -> dict:
+        """Fit a candidate pipeline on ``fit_set`` and swap it in atomically.
+
+        ``swap_addresses`` replaces the pool wholesale when given (initial
+        or explicit-subset training); ``None`` relabels whatever is free at
+        swap time (the retrain path, where concurrent writes may have
+        consumed part of the fit set).  On any failure the DAP is restored
+        byte-identically and the exception propagates to the caller.
+        """
+        was_retrain = self.pipeline.trained
+        if was_retrain:
+            with self._retrain_admin_lock:
+                self.retrain_stats.started += 1
+        start = time.perf_counter()
+        try:
+            pipeline, history, contents = self._fit_candidate(fit_set, verbose)
+            self._swap_in(pipeline, swap_addresses)
+        except BaseException:
+            if was_retrain:
+                with self._retrain_admin_lock:
+                    self.retrain_stats.failed += 1
+            self.policy.record_retrain()  # back-off before any retry
+            raise
+        self._refresh_ones_fraction(contents)
+        duration = time.perf_counter() - start
+        with self._retrain_admin_lock:
+            if was_retrain:
+                self.retrain_stats.succeeded += 1
+                self.retrain_stats.last_duration_s = duration
+                self.retrain_stats.total_duration_s += duration
+            self._retrain_pending = False
+        self.policy.record_retrain()
+        return history
+
+    def _fit_candidate(
+        self, fit_set: list[int], verbose: bool = False
+    ) -> tuple[EncoderPipeline, dict, np.ndarray]:
+        """Fit a fresh pipeline on ``fit_set`` contents, off to the side."""
+        contents = self._segment_bits(fit_set)
+        sample = contents
+        if len(fit_set) > self.config.train_sample_limit:
+            with self._rng_lock:
+                pick = self._rng.choice(
+                    len(fit_set), size=self.config.train_sample_limit,
+                    replace=False,
+                )
+            sample = contents[pick]
+        if self.faults is not None:
+            self.faults.fire("train.fit")
+        pipeline = EncoderPipeline(self.input_bits, self.config, self.faults)
+        history = pipeline.fit(sample, verbose=verbose)
+        return pipeline, history, contents
+
+    def _swap_in(
+        self, pipeline: EncoderPipeline, addresses: list[int] | None
+    ) -> None:
+        """Atomically install ``pipeline`` and a relabelled pool.
+
+        Under the swap lock: snapshot the pool, relabel the free set with
+        the new model, and swap both.  Any exception restores the snapshot
+        byte-for-byte (counted as a pool restore) and re-raises.
+        """
+        with self._swap_lock:
+            saved = self.dap.snapshot()
+            free_now = self.dap.drain()
+            if addresses is not None:
+                free_now = list(addresses)
+            try:
+                if self.faults is not None:
+                    self.faults.fire("train.relabel")
+                new_dap = DynamicAddressPool(self.config.n_clusters)
+                if free_now:
+                    labels = pipeline.predict_segments(
+                        self._segment_bits(free_now)
+                    )
+                    new_dap.populate(labels, free_now)
+                self.pipeline = pipeline
+                self.dap = new_dap
+            except BaseException:
+                self.dap.restore(saved)
+                with self._retrain_admin_lock:
+                    self.retrain_stats.pool_restores += 1
+                raise
+
     def _segment_bits(self, addresses) -> np.ndarray:
         rows = np.empty((len(addresses), self.input_bits), dtype=np.float64)
         for i, addr in enumerate(addresses):
             content = self.controller.peek(addr, self.segment_size)
             rows[i] = np.unpackbits(content)
         return rows
+
+    def _note_write_for_ones_fraction(self) -> None:
+        """Periodically re-sample free-segment content so memory-based
+        padding tracks drift (the fraction would otherwise go stale between
+        retrains)."""
+        self._ones_fraction_age += 1
+        interval = self.config.ones_fraction_refresh_writes
+        if interval <= 0 or self._ones_fraction_age < interval:
+            return
+        free = self.dap.snapshot_addresses()
+        if not free:
+            self._ones_fraction_age = 0
+            return
+        limit = self.config.ones_fraction_sample_segments
+        if len(free) > limit:
+            with self._rng_lock:
+                pick = self._rng.choice(len(free), size=limit, replace=False)
+            free = [free[i] for i in pick]
+        self._refresh_ones_fraction(self._segment_bits(free))
 
     def _refresh_ones_fraction(self, contents_bits: np.ndarray) -> None:
         if contents_bits.size:

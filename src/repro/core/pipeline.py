@@ -26,13 +26,19 @@ class EncoderPipeline:
     Args:
         input_bits: model width ``w`` (bits per memory segment).
         config: hyperparameters (cluster count, VAE shape, padding choice).
+        faults: optional :class:`repro.testing.faults.FaultInjector`; when
+            set, ``fit`` fires the ``"pipeline.fit"`` site so tests can
+            inject slow or failing trainings.
     """
 
-    def __init__(self, input_bits: int, config: E2NVMConfig) -> None:
+    def __init__(
+        self, input_bits: int, config: E2NVMConfig, faults=None
+    ) -> None:
         if input_bits <= 0:
             raise ValueError("input_bits must be positive")
         self.input_bits = input_bits
         self.config = config
+        self.faults = faults
         self._rng = rng_from_seed(config.seed)
         self.model = JointVAEKMeans(
             input_dim=input_bits,
@@ -75,6 +81,8 @@ class EncoderPipeline:
             raise ValueError(
                 f"segments have {X.shape[1]} bits, model expects {self.input_bits}"
             )
+        if self.faults is not None:
+            self.faults.fire("pipeline.fit")
         self.model.fit(X, verbose=verbose)
         if self.lstm is not None:
             self.lstm.fit(

@@ -1,0 +1,10 @@
+"""Test-support utilities shipped with the library.
+
+- :mod:`repro.testing.faults` — deterministic fault injection for
+  exercising the engine's recovery paths (failed retrains, slow fits,
+  device write errors).
+"""
+
+from repro.testing.faults import FaultError, FaultInjector, FaultRule
+
+__all__ = ["FaultError", "FaultInjector", "FaultRule"]

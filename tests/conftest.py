@@ -30,9 +30,16 @@ def make_device(seed: int = 7, segment_size: int = SEGMENT_SIZE,
     )
 
 
-def make_engine(seed: int = 7, **config_overrides) -> E2NVM:
+def make_engine(
+    seed: int = 7,
+    n_segments: int = N_SEGMENTS,
+    segment_size: int = SEGMENT_SIZE,
+    **config_overrides,
+) -> E2NVM:
     """A freshly trained small engine over its own device."""
-    device = make_device(seed=seed)
+    device = make_device(
+        seed=seed, segment_size=segment_size, n_segments=n_segments
+    )
     controller = MemoryController(device)
     engine = E2NVM(controller, fast_test_config(**config_overrides))
     engine.train()

@@ -48,6 +48,30 @@ class TestBasics:
         assert pool.free_count() == 0
 
 
+class TestSnapshotRestore:
+    def test_snapshot_preserves_order_and_clusters(self):
+        pool = DynamicAddressPool(3)
+        pool.populate([0, 0, 2], [10, 20, 30])
+        assert pool.snapshot() == {0: (10, 20), 1: (), 2: (30,)}
+
+    def test_restore_reinstates_snapshot_exactly(self):
+        pool = DynamicAddressPool(3)
+        pool.populate([0, 0, 2], [10, 20, 30])
+        saved = pool.snapshot()
+        pool.drain()
+        pool.add(1, 99)  # divergent state to be discarded
+        pool.restore(saved)
+        assert pool.snapshot() == saved
+        assert pool.get(0) == 10  # FIFO order survived the round trip
+
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        pool = DynamicAddressPool(2)
+        pool.populate([0], [7])
+        saved = pool.snapshot()
+        pool.get(0)
+        assert saved == {0: (7,), 1: ()}
+
+
 class TestFallback:
     def test_fallback_without_centroids_uses_fullest(self):
         pool = DynamicAddressPool(3)

@@ -66,6 +66,29 @@ class TestBatching:
         with pytest.raises(KeyError):
             batcher.delete(BatchLocator(12345, 0, 4))
 
+    def test_double_delete_raises_and_keeps_batch_live(self, batcher):
+        """Regression: a repeated delete must not double-decrement the
+        live-byte count and prematurely release a batch with live values."""
+        h1 = batcher.put(b"a" * 20)
+        h2 = batcher.put(b"b" * 20)
+        batcher.flush()
+        free_before = batcher.engine.dap.free_count()
+        batcher.delete(h1.locator)
+        with pytest.raises(KeyError):
+            batcher.delete(h1.locator)  # tombstoned: double free rejected
+        assert batcher.live_batches() == 1
+        assert batcher.read(h2.locator) == b"b" * 20  # h2 still live
+        batcher.delete(h2.locator)
+        assert batcher.live_batches() == 0
+        assert batcher.engine.dap.free_count() == free_before + 1
+
+    def test_delete_after_batch_release_raises(self, batcher):
+        h1 = batcher.put(b"c" * 30)
+        batcher.flush()
+        batcher.delete(h1.locator)  # batch fully released
+        with pytest.raises(KeyError):
+            batcher.delete(h1.locator)
+
     def test_validation(self, batcher):
         with pytest.raises(TypeError):
             batcher.put(b"")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import E2NVMConfig, fast_test_config
-from repro.core.retraining import RetrainPolicy
+from repro.core.retraining import RetrainDecision, RetrainPolicy, RetrainStats
 
 
 class TestConfig:
@@ -19,6 +19,10 @@ class TestConfig:
             E2NVMConfig(retrain_threshold=-1)
         with pytest.raises(ValueError):
             E2NVMConfig(hidden=())
+        with pytest.raises(ValueError):
+            E2NVMConfig(ones_fraction_refresh_writes=-1)
+        with pytest.raises(ValueError):
+            E2NVMConfig(ones_fraction_sample_segments=0)
 
     def test_hidden_normalised_to_tuple(self):
         config = E2NVMConfig(hidden=[64, 32])
@@ -66,3 +70,41 @@ class TestRetrainPolicy:
         policy = RetrainPolicy(min_free_per_cluster=1, cooldown_writes=0)
         assert policy.should_retrain(0, 3, 5) is False
         assert policy.should_retrain(0, 5, 5) is True
+
+
+class TestRetrainDecide:
+    def test_skip_when_threshold_not_tripped(self):
+        policy = RetrainPolicy(min_free_per_cluster=2, cooldown_writes=0)
+        assert policy.decide(2, 50, 5) is RetrainDecision.SKIP
+
+    def test_defer_when_too_few_free_segments(self):
+        """A wanted retrain with < n_clusters free defers instead of firing
+        (training would be impossible) — and counts no trigger."""
+        policy = RetrainPolicy(min_free_per_cluster=1, cooldown_writes=0)
+        assert policy.decide(0, 3, 5) is RetrainDecision.DEFER
+        assert policy.triggers == 0
+
+    def test_pending_retry_ignores_threshold(self):
+        policy = RetrainPolicy(min_free_per_cluster=1, cooldown_writes=0)
+        # Threshold healthy, but a deferred retrain is pending.
+        assert policy.decide(5, 50, 5, pending=True) is RetrainDecision.FIRE
+        assert policy.triggers == 0  # a retry is not a new trigger
+
+    def test_pending_retry_respects_cooldown_backoff(self):
+        policy = RetrainPolicy(min_free_per_cluster=1, cooldown_writes=5)
+        policy.record_retrain()  # e.g. a failed attempt resets the window
+        assert policy.decide(0, 50, 5, pending=True) is RetrainDecision.SKIP
+        for _ in range(5):
+            policy.record_write()
+        assert policy.decide(0, 50, 5, pending=True) is RetrainDecision.FIRE
+
+
+class TestRetrainStats:
+    def test_as_dict_keys(self):
+        stats = RetrainStats(started=3, succeeded=2, failed=1, deferred=4)
+        d = stats.as_dict()
+        assert d["retrains_started"] == 3
+        assert d["retrains_succeeded"] == 2
+        assert d["retrains_failed"] == 1
+        assert d["retrains_deferred"] == 4
+        assert d["pool_restores"] == 0

@@ -164,6 +164,7 @@ class TestRetraining:
             addr = engine.dap.get(cluster)
             engine._allocated.add(addr)
         assert engine.maybe_retrain() is True
+        assert engine.wait_for_retrain(timeout=120)
         assert engine.retrain_count == 1
 
     def test_cooldown_suppresses_retrain(self):
@@ -186,6 +187,7 @@ class TestRetraining:
             engine.release(addr)
         # With threshold 1 and no cooldown, at least one retrain happened
         # whenever some cluster emptied; either way the engine stayed usable.
+        assert engine.wait_for_retrain(timeout=120)
         assert engine.dap.free_count() == 128
 
     def test_memory_footprint_reported(self, fresh_engine):

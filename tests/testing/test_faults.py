@@ -1,0 +1,89 @@
+"""Fault-injection harness tests (repro.testing.faults)."""
+
+import time
+
+import pytest
+
+from repro.testing import FaultError, FaultInjector
+
+
+class TestArming:
+    def test_unarmed_fire_is_noop_but_counted(self):
+        faults = FaultInjector()
+        faults.fire("anywhere")
+        faults.fire("anywhere")
+        assert faults.hits("anywhere") == 2
+        assert faults.fired("anywhere") == 0
+        assert not faults.armed("anywhere")
+
+    def test_arm_requires_error_or_delay(self):
+        faults = FaultInjector()
+        with pytest.raises(ValueError):
+            faults.arm("site")
+        with pytest.raises(ValueError):
+            faults.arm("site", error=FaultError, delay=-1.0)
+        with pytest.raises(ValueError):
+            faults.arm("site", error=FaultError, after=-1)
+        with pytest.raises(ValueError):
+            faults.arm("site", error=FaultError, times=0)
+
+    def test_disarm_and_reset(self):
+        faults = FaultInjector()
+        faults.arm("site", error=FaultError)
+        assert faults.armed("site")
+        faults.disarm("site")
+        assert not faults.armed("site")
+        faults.fire("site")  # no raise
+        faults.arm("site", error=FaultError)
+        faults.reset()
+        assert not faults.armed("site")
+        assert faults.hits("site") == 0
+
+
+class TestFiring:
+    def test_error_class_is_instantiated(self):
+        faults = FaultInjector()
+        faults.arm("site", error=FaultError)
+        with pytest.raises(FaultError, match="site"):
+            faults.fire("site")
+
+    def test_error_instance_is_raised_verbatim(self):
+        faults = FaultInjector()
+        boom = OSError("media gone")
+        faults.arm("site", error=boom, times=None)
+        with pytest.raises(OSError) as excinfo:
+            faults.fire("site")
+        assert excinfo.value is boom
+
+    def test_times_bounds_the_firing(self):
+        faults = FaultInjector()
+        faults.arm("site", error=FaultError, times=2)
+        for _ in range(2):
+            with pytest.raises(FaultError):
+                faults.fire("site")
+        faults.fire("site")  # exhausted: passes through
+        assert faults.fired("site") == 2
+        assert faults.hits("site") == 3
+
+    def test_after_skips_initial_hits(self):
+        faults = FaultInjector()
+        faults.arm("site", error=FaultError, after=2)
+        faults.fire("site")
+        faults.fire("site")
+        with pytest.raises(FaultError):
+            faults.fire("site")
+
+    def test_delay_only_rule_sleeps(self):
+        faults = FaultInjector()
+        faults.arm("slow", delay=0.05)
+        start = time.perf_counter()
+        faults.fire("slow")  # slow but no error
+        assert time.perf_counter() - start >= 0.05
+
+    def test_injected_context_manager(self):
+        faults = FaultInjector()
+        with faults.injected("site", error=FaultError):
+            with pytest.raises(FaultError):
+                faults.fire("site")
+        assert not faults.armed("site")
+        faults.fire("site")  # disarmed on exit
