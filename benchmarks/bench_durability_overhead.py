@@ -1,0 +1,122 @@
+"""Durability overhead: volatile vs transactional KV write path.
+
+The paper's Figure 1 experiment "use[s] PMDK's transactions to persist
+writes" and pays the undo-log traffic on every write; this benchmark
+quantifies that price for the full KV store.  The same seeded YCSB-style
+trace runs twice over byte-identical devices:
+
+- **volatile** — the historical simulator mode (DRAM index and flags,
+  values written straight through the engine);
+- **durable** — every PUT/DELETE routed through an undo-log transaction
+  that also maintains the persistent per-segment catalog.
+
+The multipliers are the PMDK-style overhead: each durable PUT writes the
+undo records (old value + old catalog record), the value, and the catalog
+record, plus the log's active-flag toggles — versus a single value write.
+"""
+
+from __future__ import annotations
+
+from common import print_table, run_once
+
+from repro.core import KVStore
+from repro.core.config import fast_test_config
+from repro.nvm import MemoryController, NVMDevice
+from repro.pmem import PersistentCatalog, PersistentPool
+from repro.testing.crash_sweep import make_ycsb_trace
+
+SEGMENT_SIZE = 64
+N_SEGMENTS = 96
+LOG_SEGMENTS = 4
+KEY_CAPACITY = 16
+N_OPS = 300
+
+
+def _device(seed: int = 7) -> NVMDevice:
+    return NVMDevice(
+        capacity_bytes=N_SEGMENTS * SEGMENT_SIZE,
+        segment_size=SEGMENT_SIZE,
+        initial_fill="random",
+        seed=seed,
+    )
+
+
+def _apply(store: KVStore, trace) -> None:
+    for op in trace:
+        if op[0] == "put":
+            store.put(op[1], op[2])
+        elif op[0] == "delete":
+            if store.index.get(op[1]) is not None:
+                store.delete(op[1])
+        else:
+            store.get(op[1])
+
+
+def run_durability_overhead(seed: int = 0) -> list[list]:
+    trace = make_ycsb_trace(
+        N_OPS, n_keys=10, value_size=SEGMENT_SIZE, seed=seed
+    )
+    config = fast_test_config()
+
+    volatile_device = _device()
+    from repro.core import E2NVM
+
+    engine = E2NVM(
+        MemoryController(volatile_device),
+        config,
+        reserved_segments=LOG_SEGMENTS
+        + PersistentCatalog.meta_segments_for(
+            N_SEGMENTS, LOG_SEGMENTS, SEGMENT_SIZE, KEY_CAPACITY
+        ),
+    )
+    engine.train()
+    volatile_device.reset_stats()
+    _apply(KVStore(engine), trace)
+
+    durable_device = _device()
+    pool = PersistentPool(
+        MemoryController(durable_device),
+        log_segments=LOG_SEGMENTS,
+        meta_segments=PersistentCatalog.meta_segments_for(
+            N_SEGMENTS, LOG_SEGMENTS, SEGMENT_SIZE, KEY_CAPACITY
+        ),
+    )
+    durable = KVStore.create(pool, config=config, key_capacity=KEY_CAPACITY)
+    durable_device.reset_stats()
+    _apply(durable, trace)
+
+    rows = []
+    for name, metric in [
+        ("device writes", "writes"),
+        ("bytes written", "bytes_written"),
+        ("bits programmed", "bits_programmed"),
+        ("write energy (pJ)", "write_energy_pj"),
+        ("write latency (ns)", "write_latency_ns"),
+    ]:
+        v = getattr(volatile_device.stats, metric)
+        d = getattr(durable_device.stats, metric)
+        rows.append([name, float(v), float(d), d / max(v, 1e-12)])
+    return rows
+
+
+HEADERS = ["metric", "volatile", "durable", "multiplier"]
+TITLE = (
+    f"Durability overhead: transactional KV write path "
+    f"({N_OPS}-op YCSB-style trace)"
+)
+
+
+def test_bench_durability_overhead(benchmark):
+    rows = run_once(benchmark, run_durability_overhead)
+    print_table(TITLE, HEADERS, rows)
+    by_name = {row[0]: row for row in rows}
+    # Transactions must cost more (log traffic is real device traffic)...
+    assert by_name["device writes"][3] > 1.5
+    assert by_name["write energy (pJ)"][3] > 1.0
+    # ...but not absurdly more: the undo log roughly doubles-to-quadruples
+    # the media traffic of a PUT, as PMDK does in Figure 1.
+    assert by_name["bytes written"][3] < 10.0
+
+
+if __name__ == "__main__":
+    print_table(TITLE, HEADERS, run_durability_overhead())

@@ -55,6 +55,10 @@ class E2NVM:
             and ``"device.write"`` sites (and candidate pipelines fire
             ``"pipeline.fit"``), letting tests force training failures,
             slow fits, and device write errors.
+        reserved_segments: leading segments the engine must never place
+            values in (a :class:`~repro.pmem.pool.PersistentPool`'s undo
+            log and catalog regions); training, the DAP and placement all
+            operate on the remaining *object* segments only.
     """
 
     def __init__(
@@ -62,10 +66,14 @@ class E2NVM:
         controller: MemoryController,
         config: E2NVMConfig | None = None,
         faults=None,
+        reserved_segments: int = 0,
     ) -> None:
+        if not 0 <= reserved_segments < controller.n_segments:
+            raise ValueError("reserved_segments must leave placeable space")
         self.controller = controller
         self.config = config or E2NVMConfig()
         self.faults = faults
+        self.reserved_segments = reserved_segments
         self.segment_size = controller.segment_size
         self.input_bits = self.segment_size * 8
         self.pipeline = EncoderPipeline(self.input_bits, self.config, faults)
@@ -94,10 +102,10 @@ class E2NVM:
     # ------------------------------------------------------------- training
 
     def free_addresses(self) -> list[int]:
-        """Addresses of all segments not currently allocated."""
+        """Addresses of all placeable segments not currently allocated."""
         return [
             self.controller.segment_address(i)
-            for i in range(self.controller.n_segments)
+            for i in range(self.reserved_segments, self.controller.n_segments)
             if self.controller.segment_address(i) not in self._allocated
         ]
 
@@ -159,6 +167,52 @@ class E2NVM:
         labels = self.pipeline.predict_segments(self._segment_bits(addresses))
         with self._swap_lock:
             self.dap.populate(labels, addresses)
+
+    def adopt(
+        self, pipeline: EncoderPipeline, free_addresses: list[int]
+    ) -> None:
+        """Install an already-trained pipeline and rebuild the DAP.
+
+        The recovery path: after a restart the media alone says which
+        segments are free, and a previously trained (e.g. deserialised)
+        model re-encodes their contents to reconstruct the cluster pools —
+        the same re-cluster path DELETE takes, just in bulk.  No training
+        happens.
+        """
+        if not pipeline.trained:
+            raise ValueError("adopt() needs a trained pipeline")
+        if pipeline.input_bits != self.input_bits:
+            raise ValueError(
+                f"pipeline width {pipeline.input_bits} does not match the "
+                f"device's {self.input_bits} bits per segment"
+            )
+        free_addresses = list(free_addresses)
+        for addr in free_addresses:
+            self._check_segment_address(addr)
+            if addr in self._allocated:
+                raise ValueError(f"address {addr} is allocated")
+        bits = None
+        if free_addresses:
+            bits = self._segment_bits(free_addresses)
+        with self._swap_lock:
+            new_dap = DynamicAddressPool(self.config.n_clusters)
+            if free_addresses:
+                new_dap.populate(
+                    pipeline.predict_segments(bits), free_addresses
+                )
+            self.pipeline = pipeline
+            self.dap = new_dap
+        if bits is not None:
+            self._refresh_ones_fraction(bits)
+
+    def mark_allocated(self, addr: int) -> None:
+        """Register ``addr`` as live without going through :meth:`place`.
+
+        Used by recovery to restore allocator state derived from the
+        persistent catalog; the address must not sit in the DAP.
+        """
+        self._check_segment_address(addr)
+        self._allocated.add(addr)
 
     def train_async(self) -> threading.Thread:
         """Retrain lazily in the background and swap models atomically.
@@ -258,6 +312,17 @@ class E2NVM:
             self.failed_writes += 1
             self.release(addr)
             raise
+        self.record_committed_write()
+        return addr, result
+
+    def record_committed_write(self) -> None:
+        """Post-write bookkeeping: retrain policy, padding-statistics
+        refresh, and the never-failing ``auto_retrain`` hook.
+
+        Shared by :meth:`write` and the KV store's transactional write
+        path, which performs the media write itself (inside an undo-log
+        transaction) and calls this once the write has committed.
+        """
         self.policy.record_write()
         self._note_write_for_ones_fraction()
         if self.config.auto_retrain:
@@ -268,7 +333,6 @@ class E2NVM:
                     self.retrain_stats.failed += 1
                     self._retrain_pending = True
                 self.last_retrain_error = exc
-        return addr, result
 
     def release(self, addr: int) -> None:
         """Algorithm 2, lines 3–4: re-cluster a freed address into the DAP."""
@@ -499,6 +563,11 @@ class E2NVM:
             raise ValueError(f"address {addr} is not segment-aligned")
         if not 0 <= addr < self.controller.n_segments * self.segment_size:
             raise IndexError(f"address {addr} out of range")
+        if addr < self.reserved_segments * self.segment_size:
+            raise ValueError(
+                f"address {addr} is inside the {self.reserved_segments} "
+                "reserved (log/catalog) segments"
+            )
 
     def _require_trained(self) -> None:
         if not self.pipeline.trained:

@@ -12,12 +12,42 @@ PUT/UPDATE follow Algorithm 1 (new writes go to a freshly predicted similar
 segment; the update's old segment is recycled).  DELETE follows Algorithm 2
 (the validity flag is reset and the address re-clustered into the DAP).  GET
 and SCAN go through the index only.
+
+The store runs in one of two modes:
+
+- **volatile** (``KVStore(engine)``): the historical simulator mode — index
+  and validity flags are DRAM-only and die with the process;
+- **durable** (:meth:`KVStore.create` / :meth:`KVStore.open` over a
+  :class:`~repro.pmem.pool.PersistentPool`): every mutation routes through
+  an undo-log transaction that updates the value segment *and* its
+  :class:`~repro.pmem.catalog.PersistentCatalog` record failure-atomically,
+  the paper's Algorithm 2 validity flag becomes a persisted bit, and
+  :meth:`KVStore.open` rebuilds the index, validity map, allocator state
+  and DAP from the media alone after a crash.  See the README's
+  "Durability contract" section.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.core.config import E2NVMConfig
 from repro.core.e2nvm import E2NVM
 from repro.index.rbtree import RedBlackTree
+from repro.pmem.catalog import DEFAULT_KEY_CAPACITY, PersistentCatalog
+from repro.pmem.pool import PersistentPool
+from repro.testing.faults import CrashError
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`KVStore.open` found and rebuilt from the media."""
+
+    rolled_back_records: int
+    live_objects: int
+    free_objects: int
+    duplicate_keys_dropped: int
+    max_epoch: int
 
 
 class KVStore:
@@ -27,18 +57,184 @@ class KVStore:
         engine: a trained (or to-be-trained) :class:`E2NVM` engine.
         index: the key → location index; defaults to a red-black tree, as in
             Figure 3 ("RB-Tree.put(D, A)").
+        pool: optional :class:`PersistentPool` enabling the durable,
+            transactional write path; prefer :meth:`create`/:meth:`open`
+            over passing it directly.
+        catalog: the pool's :class:`PersistentCatalog`; required with
+            ``pool``.
     """
 
-    def __init__(self, engine: E2NVM, index=None) -> None:
+    def __init__(
+        self,
+        engine: E2NVM,
+        index=None,
+        *,
+        pool: PersistentPool | None = None,
+        catalog: PersistentCatalog | None = None,
+    ) -> None:
+        if (pool is None) != (catalog is None):
+            raise ValueError("durable mode needs both pool and catalog")
         self.engine = engine
         self.index = index if index is not None else RedBlackTree()
-        # Per-address validity flags (the paper resets a flag bit on DELETE;
-        # we keep the flags DRAM-resident as segment layout has no header).
+        self.pool = pool
+        self.catalog = catalog
+        # Per-address validity flags.  In durable mode this mirrors the
+        # catalog's persisted flag bits; in volatile mode (no segment
+        # headers) it is the only copy.
         self._valid: dict[int, bool] = {}
+        self._next_epoch = 1
+        self.recovery: RecoveryReport | None = None
+
+    # ------------------------------------------------------- durable set-up
+
+    @classmethod
+    def create(
+        cls,
+        pool: PersistentPool,
+        *,
+        config: E2NVMConfig | None = None,
+        faults=None,
+        key_capacity: int = DEFAULT_KEY_CAPACITY,
+        pipeline=None,
+        index=None,
+    ) -> "KVStore":
+        """Format fresh media and build a durable store over ``pool``.
+
+        Initialises the undo log and catalog, then trains the placement
+        engine on the (empty) object segments — or adopts an already
+        trained ``pipeline`` when given, e.g. a deserialised model or a
+        test harness's shared one.
+        """
+        catalog = PersistentCatalog(pool, key_capacity)
+        cls._check_log_capacity(pool, catalog)
+        pool.format()
+        catalog.format()
+        engine = E2NVM(
+            pool.controller,
+            config,
+            faults,
+            reserved_segments=pool.object_start_segment,
+        )
+        if pipeline is not None:
+            engine.adopt(pipeline, engine.free_addresses())
+        else:
+            engine.train()
+        return cls(engine, index=index, pool=pool, catalog=catalog)
+
+    @classmethod
+    def open(
+        cls,
+        pool: PersistentPool,
+        *,
+        config: E2NVMConfig | None = None,
+        faults=None,
+        key_capacity: int = DEFAULT_KEY_CAPACITY,
+        pipeline=None,
+        index=None,
+    ) -> "KVStore":
+        """Re-open an existing store from the media alone (full recovery).
+
+        1. Runs the pool's undo-log rollback, repairing any transaction a
+           crash left half-applied (idempotent — a crash *during* recovery
+           just recovers again).
+        2. Scans the persistent catalog: every valid record rebuilds one
+           index entry, validity flag and allocator registration.
+        3. Re-encodes the free segments through the trained pipeline to
+           reconstruct the DAP cluster pools — the same re-cluster path
+           DELETE takes.  Pass ``pipeline`` (e.g. a deserialised model) to
+           skip retraining; with ``None`` a fresh model is trained on the
+           free segments.
+
+        No DRAM state of the previous incarnation is consulted; the report
+        of what was rebuilt lands on :attr:`recovery`.
+        """
+        rolled_back = pool.recover()
+        catalog = PersistentCatalog(pool, key_capacity)
+        cls._check_log_capacity(pool, catalog)
+
+        # Catalog scan: newest epoch wins should a duplicate key ever
+        # surface (it cannot under atomic PUTs; this is defensive).
+        live: dict[bytes, object] = {}
+        dropped = 0
+        max_epoch = 0
+        for entry in catalog.scan():
+            max_epoch = max(max_epoch, entry.epoch)
+            other = live.get(entry.key)
+            if other is None or entry.epoch > other.epoch:
+                if other is not None:
+                    dropped += 1
+                    catalog.pool.write(
+                        catalog.record_address(other.slot), b"\x00"
+                    )
+                live[entry.key] = entry
+            else:
+                dropped += 1
+                catalog.pool.write(catalog.record_address(entry.slot), b"\x00")
+
+        live_addrs = {
+            entry.key: pool.object_address(entry.slot)
+            for entry in live.values()
+        }
+        taken = set(live_addrs.values())
+        free_addrs = [
+            pool.object_address(i)
+            for i in range(pool.capacity_objects)
+            if pool.object_address(i) not in taken
+        ]
+
+        engine = E2NVM(
+            pool.controller,
+            config,
+            faults,
+            reserved_segments=pool.object_start_segment,
+        )
+        if pipeline is not None:
+            engine.adopt(pipeline, free_addrs)
+        else:
+            engine.train(addresses=free_addrs)
+
+        store = cls(engine, index=index, pool=pool, catalog=catalog)
+        for key, entry in live.items():
+            addr = live_addrs[key]
+            engine.mark_allocated(addr)
+            pool.mark_allocated(addr)
+            store.index.put(key, (addr, entry.value_len))
+            store._valid[addr] = True
+        store._next_epoch = max_epoch + 1
+        store.recovery = RecoveryReport(
+            rolled_back_records=rolled_back,
+            live_objects=len(live),
+            free_objects=len(free_addrs),
+            duplicate_keys_dropped=dropped,
+            max_epoch=max_epoch,
+        )
+        return store
+
+    @staticmethod
+    def _check_log_capacity(
+        pool: PersistentPool, catalog: PersistentCatalog
+    ) -> None:
+        """The undo log must hold the largest transaction a PUT can form:
+        one value write, one full catalog record, one flag reset."""
+        overhead = pool.record_overhead_bytes()
+        worst = (
+            (overhead + pool.segment_size)
+            + (overhead + catalog.record_size)
+            + (overhead + 1)
+        )
+        if pool.log_capacity_bytes < worst:
+            raise ValueError(
+                f"undo log of {pool.log_capacity_bytes} B cannot hold a "
+                f"worst-case PUT transaction of {worst} B; raise log_segments"
+            )
+
+    # -------------------------------------------------------------- training
 
     def train(self, verbose: bool = False) -> dict:
         """Train the placement engine on the current memory contents."""
         return self.engine.train(verbose=verbose)
+
+    # ------------------------------------------------------------ operations
 
     def put(self, key: bytes, value: bytes) -> int:
         """Insert or update; returns the NVM address chosen for the value."""
@@ -46,6 +242,11 @@ class KVStore:
             raise TypeError("keys must be bytes")
         if not isinstance(value, bytes) or not value:
             raise TypeError("values must be non-empty bytes")
+        if self.pool is None:
+            return self._put_volatile(key, value)
+        return self._put_durable(key, value)
+
+    def _put_volatile(self, key: bytes, value: bytes) -> int:
         old = self.index.get(key)
         addr, _ = self.engine.write(value)
         self._valid[addr] = True
@@ -55,6 +256,54 @@ class KVStore:
             old_addr, _ = old
             self._valid[old_addr] = False
             self.engine.release(old_addr)
+        return addr
+
+    def _put_durable(self, key: bytes, value: bytes) -> int:
+        """Algorithm 1 with a real durability contract: value, catalog
+        record and (on UPDATE) the old record's flag reset commit or roll
+        back as one undo-log transaction.  The PUT is acknowledged only
+        after commit; a crash at any earlier point leaves the previous
+        store state recoverable."""
+        if len(key) > self.catalog.key_capacity:
+            raise ValueError(
+                f"key of {len(key)} bytes exceeds catalog key capacity "
+                f"{self.catalog.key_capacity}"
+            )
+        old = self.index.get(key)
+        addr = self.engine.place(value)
+        epoch = self._next_epoch
+        try:
+            if self.engine.faults is not None:
+                self.engine.faults.fire("device.write")
+            with self.pool.transaction() as tx:
+                tx.write(addr, value)
+                self.catalog.tx_set(
+                    tx, self.pool.object_index(addr), key, len(value), epoch
+                )
+                if old is not None:
+                    self.catalog.tx_clear(
+                        tx, self.pool.object_index(old[0])
+                    )
+        except CrashError:
+            # Simulated process death: no DRAM cleanup — the harness
+            # discards this object and re-opens from the media.
+            raise
+        except BaseException:
+            # Failed (and rolled-back) transaction: un-claim the address so
+            # the DAP stays exact, then surface the error.
+            self.engine.release(addr)
+            raise
+        # Committed: now (and only now) update the DRAM mirrors.
+        self._next_epoch = epoch + 1
+        self._valid[addr] = True
+        self.index.put(key, (addr, len(value)))
+        self.pool.mark_allocated(addr)
+        if old is not None:
+            old_addr, _ = old
+            self._valid[old_addr] = False
+            self.pool.free(old_addr)
+            self.engine.release(old_addr)
+        self.engine.record_committed_write()
         return addr
 
     def get(self, key: bytes) -> bytes | None:
@@ -71,6 +320,12 @@ class KVStore:
         if entry is None:
             return False
         addr, _ = entry
+        if self.pool is not None:
+            # The persisted validity-flag reset is the durable part; it
+            # commits before any DRAM structure changes.
+            with self.pool.transaction() as tx:
+                self.catalog.tx_clear(tx, self.pool.object_index(addr))
+            self.pool.free(addr)
         self.index.delete(key)
         self._valid[addr] = False
         self.engine.release(addr)

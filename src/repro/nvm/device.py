@@ -57,6 +57,11 @@ class NVMDevice:
             byte of capacity) for wear CDF analysis.
         initial_fill: ``"zero"`` or ``"random"`` initial media content.
         seed: RNG seed for ``initial_fill="random"``.
+        faults: optional :class:`repro.testing.faults.FaultInjector`; when
+            set, :meth:`program` fires the write-capable ``"device.program"``
+            site before any accounting, so tests can crash a run at any
+            media write — including *torn* writes where only a prefix of
+            the programmed bytes lands before the (simulated) power loss.
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class NVMDevice:
         track_bit_wear: bool = False,
         initial_fill: str = "zero",
         seed: int | np.random.Generator | None = None,
+        faults=None,
     ) -> None:
         if segment_size <= 0:
             raise ValueError("segment_size must be positive")
@@ -79,6 +85,7 @@ class NVMDevice:
         self.segment_size = segment_size
         self.energy_model = energy_model or EnergyModel()
         self.latency_model = latency_model or LatencyModel()
+        self.faults = faults
         self.stats = DeviceStats()
 
         if initial_fill == "zero":
@@ -171,17 +178,25 @@ class NVMDevice:
             if mask.size != length:
                 raise ValueError("program_mask length must match data length")
 
+        if self.faults is not None:
+            # A torn write persists only the first n programmed bytes; no
+            # accounting happens (the stats are DRAM and die with the
+            # process the injector is about to kill).
+            self.faults.fire(
+                "device.program",
+                payload_len=length,
+                payload_writer=lambda n: self._apply_masked(
+                    addr, new[:n], mask[:n]
+                ),
+            )
+
         old = self._content[addr : addr + length]
         flips_mask = np.bitwise_and(mask, np.bitwise_xor(old, new))
         bits_programmed = int(POPCOUNT_TABLE[mask].sum())
         bits_flipped = int(POPCOUNT_TABLE[flips_mask].sum())
         dirty_lines = self._dirty_lines(addr, mask)
 
-        # Apply: masked bits take the new value, unmasked bits keep the old.
-        self._content[addr : addr + length] = np.bitwise_or(
-            np.bitwise_and(old, np.bitwise_not(mask)),
-            np.bitwise_and(new, mask),
-        )
+        self._apply_masked(addr, new, mask)
 
         energy = self.energy_model.write_energy(
             length, bits_programmed, dirty_lines, aux_bits
@@ -300,11 +315,25 @@ class NVMDevice:
 
     # -------------------------------------------------------------- internals
 
+    def _apply_masked(
+        self, addr: int, new: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Masked bits take the new value, unmasked bits keep the old."""
+        if new.size == 0:
+            return
+        old = self._content[addr : addr + new.size]
+        self._content[addr : addr + new.size] = np.bitwise_or(
+            np.bitwise_and(old, np.bitwise_not(mask)),
+            np.bitwise_and(new, mask),
+        )
+
     def _dirty_lines(self, addr: int, mask: np.ndarray) -> int:
         line = self.energy_model.cache_line_bytes
         first_line = addr // line
         last_line = (addr + mask.size - 1) // line
         n_lines = last_line - first_line + 1
+        if n_lines == 1:
+            return int(mask.any())
         # Pad the mask out to whole lines, then check each line for activity.
         padded = np.zeros(n_lines * line, dtype=np.uint8)
         offset = addr - first_line * line

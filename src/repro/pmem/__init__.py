@@ -9,10 +9,21 @@ programming model over the simulated device:
 - :class:`~repro.pmem.transaction.Transaction` — undo-log transactions
   (``TX_BEGIN``/``TX_ADD``-style): old content is logged to a reserved NVM
   log region before in-place writes, so the log traffic's energy cost is
-  part of every transactional write, exactly as on real PMDK.
+  part of every transactional write, exactly as on real PMDK;
+- :class:`~repro.pmem.catalog.PersistentCatalog` — a media-resident
+  per-segment record table (key, value length, validity flag, epoch) so
+  the device alone describes the KV store and a restart can rebuild every
+  DRAM structure from a catalog scan.
 """
 
+from repro.pmem.catalog import CatalogEntry, PersistentCatalog
 from repro.pmem.pool import PersistentPool
 from repro.pmem.transaction import Transaction, TransactionAborted
 
-__all__ = ["PersistentPool", "Transaction", "TransactionAborted"]
+__all__ = [
+    "CatalogEntry",
+    "PersistentCatalog",
+    "PersistentPool",
+    "Transaction",
+    "TransactionAborted",
+]

@@ -10,7 +10,11 @@ Because the log lives on the simulated media, a *crash* mid-transaction
 (abandoning the pool object) is recoverable: a new
 :class:`~repro.pmem.pool.PersistentPool` constructed over the same device
 with ``recover=True`` finds the active log and rolls the half-applied
-transaction back — see ``tests/pmem/test_crash_recovery.py``.
+transaction back — see ``tests/pmem/test_crash_recovery.py``.  A
+:class:`~repro.testing.faults.CrashError` raised at a fault site inside the
+``with`` block is treated as process death: the context manager performs
+*no* rollback and no cleanup, leaving the media exactly as the crash left
+it for a later recovery to repair.
 
 All log traffic is real device writes, so transactional overhead shows up
 in the energy/latency accounting, as it does on real Optane through PMDK.
@@ -19,6 +23,8 @@ in the energy/latency accounting, as it does on real Optane through PMDK.
 from __future__ import annotations
 
 import numpy as np
+
+from repro.testing.faults import CrashError
 
 
 class TransactionAborted(Exception):
@@ -30,19 +36,36 @@ class Transaction:
 
     Created by :meth:`repro.pmem.pool.PersistentPool.transaction`.  Only one
     transaction may be active per pool at a time (the log holds one
-    transaction's records).
+    transaction's records); beginning a second while one is active raises
+    ``RuntimeError`` instead of silently corrupting the first transaction's
+    undo records.  Transaction objects are single-use: re-entering one that
+    already committed or rolled back also raises.
     """
 
     def __init__(self, pool) -> None:
         self._pool = pool
         self._active = False
+        self._finished = False
 
     def __enter__(self) -> "Transaction":
+        if self._active:
+            raise RuntimeError("transaction is already active")
+        if self._finished:
+            raise RuntimeError(
+                "transaction objects are single-use; begin a new one with "
+                "pool.transaction()"
+            )
         self._pool._log_begin()
         self._active = True
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and issubclass(exc_type, CrashError):
+            # Simulated process death: nothing more touches the media.  The
+            # active undo log stays behind for recover() to roll back.
+            self._active = False
+            self._finished = True
+            return False
         if exc_type is None:
             self._commit()
             return False
@@ -57,6 +80,15 @@ class Transaction:
             raise RuntimeError("transaction is not active")
         old = self._pool.controller.read(addr, len(data))
         self._pool._log_record(addr, old)
+        # The undo record is persisted and valid: a crash (or torn write)
+        # from here on is rolled back from the log.
+        self._pool._fire(
+            "tx.write",
+            payload_len=len(data),
+            payload_writer=lambda n: self._pool.controller.write(
+                addr, data[:n]
+            ),
+        )
         self._pool.controller.write(addr, data)
 
     def abort(self) -> None:
@@ -64,12 +96,15 @@ class Transaction:
         raise TransactionAborted()
 
     def _commit(self) -> None:
+        self._pool._fire("tx.commit")
         self._pool._log_finish()
         self._active = False
+        self._finished = True
 
     def _rollback(self) -> None:
         self._pool._log_rollback()
         self._pool._log_finish()
+        self._finished = True
 
 
 def as_bytes(data) -> bytes:

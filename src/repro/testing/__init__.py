@@ -2,9 +2,49 @@
 
 - :mod:`repro.testing.faults` — deterministic fault injection for
   exercising the engine's recovery paths (failed retrains, slow fits,
-  device write errors).
+  device write errors), plus :class:`CrashError` and torn-write rules
+  for crash-consistency testing.
+- :mod:`repro.testing.crash_sweep` — an exhaustive crash-point sweep
+  harness: replays a seeded workload crashing at every fired fault site
+  (including torn writes), re-opens the store from the media, and checks
+  the full durability contract after each crash.
 """
 
-from repro.testing.faults import FaultError, FaultInjector, FaultRule
+from repro.testing.faults import (
+    CrashError,
+    FaultError,
+    FaultInjector,
+    FaultRule,
+)
 
-__all__ = ["FaultError", "FaultInjector", "FaultRule"]
+# crash_sweep sits above the KV store, which itself depends on the fault
+# layer; importing it eagerly here would close an import cycle, so its
+# names resolve lazily (PEP 562) on first access.
+_CRASH_SWEEP_NAMES = frozenset(
+    {
+        "CrashSweepReport",
+        "DEFAULT_CRASH_SITES",
+        "DEFAULT_TORN_SITES",
+        "KVCrashHarness",
+        "apply_trace",
+        "check_durable_invariants",
+        "make_ycsb_trace",
+        "run_crash_sweep",
+    }
+)
+
+__all__ = [
+    "CrashError",
+    "FaultError",
+    "FaultInjector",
+    "FaultRule",
+    *sorted(_CRASH_SWEEP_NAMES),
+]
+
+
+def __getattr__(name: str):
+    if name in _CRASH_SWEEP_NAMES:
+        from repro.testing import crash_sweep
+
+        return getattr(crash_sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

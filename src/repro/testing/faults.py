@@ -12,6 +12,19 @@ Instrumented code calls ``injector.fire(site)``; the call is a no-op for
 sites that are not armed, and engines without an injector skip the call
 entirely, so production hot paths pay nothing.
 
+Crash-consistency testing builds on two extensions:
+
+- :class:`CrashError` models *process death*.  It derives from
+  ``BaseException`` so ordinary ``except Exception`` cleanup handlers do
+  not treat it as a recoverable error, and the persistent-memory layer
+  deliberately skips transaction rollback when it sees one — the media is
+  left exactly as it was at the crash point, as on a real power failure.
+- *Torn writes*: a rule armed with ``torn_fraction`` acts on write-capable
+  sites (those passing ``payload_writer``/``payload_len`` to
+  :meth:`FaultInjector.fire`) by first persisting only a prefix of the
+  payload bytes and then raising, modelling a write interrupted mid-flight
+  at the device.
+
 Usage::
 
     faults = FaultInjector()
@@ -20,6 +33,9 @@ Usage::
     ...
     with faults.injected("device.write", error=OSError("media error")):
         engine.write(value)   # raises OSError, address un-claimed
+
+    # Crash with a torn media write at the 3rd transactional write:
+    faults.arm("tx.write", error=CrashError, after=2, torn_fraction=0.5)
 """
 
 from __future__ import annotations
@@ -28,10 +44,22 @@ import contextlib
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 class FaultError(RuntimeError):
     """Default exception raised by an armed fault site."""
+
+
+class CrashError(BaseException):
+    """Simulated process death at a fault site.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that
+    library code catching ``Exception`` for cleanup does not swallow it:
+    after a crash there is no process left to clean up.  Crash harnesses
+    catch it at the top level, discard every DRAM object, and re-open the
+    store from the media alone.
+    """
 
 
 @dataclass
@@ -45,6 +73,9 @@ class FaultRule:
         delay: seconds to sleep when the rule acts (a "slow" site).
         after: number of hits to let through untouched before acting.
         times: maximum number of times the rule acts (``None`` = forever).
+        torn_fraction: when acting on a write-capable site, persist this
+            fraction of the payload bytes (rounded down) before raising —
+            a device-level torn write.  ``None`` tears nothing.
     """
 
     site: str
@@ -52,8 +83,10 @@ class FaultRule:
     delay: float = 0.0
     after: int = 0
     times: int | None = 1
+    torn_fraction: float | None = None
     hits: int = field(default=0, init=False)
     fired: int = field(default=0, init=False)
+    torn_writes: int = field(default=0, init=False)
 
     def _take(self) -> bool:
         """Record a hit; return True when the rule should act on it."""
@@ -93,9 +126,12 @@ class FaultInjector:
         delay: float = 0.0,
         after: int = 0,
         times: int | None = 1,
+        torn_fraction: float | None = None,
     ) -> FaultRule:
         """Arm ``site``; the next ``fire(site)`` (after ``after`` skips)
         sleeps ``delay`` seconds and raises ``error``, up to ``times`` times.
+        With ``torn_fraction`` set, a write-capable site first persists that
+        fraction of its payload (a torn write) before the error is raised.
 
         Arming a site that carries no ``error`` and no ``delay`` raises
         ``ValueError`` — such a rule could never act.
@@ -108,7 +144,16 @@ class FaultInjector:
             raise ValueError("after must be non-negative")
         if times is not None and times <= 0:
             raise ValueError("times must be positive (or None for forever)")
-        rule = FaultRule(site, error=error, delay=delay, after=after, times=times)
+        if torn_fraction is not None and not 0.0 <= torn_fraction <= 1.0:
+            raise ValueError("torn_fraction must be in [0, 1]")
+        rule = FaultRule(
+            site,
+            error=error,
+            delay=delay,
+            after=after,
+            times=times,
+            torn_fraction=torn_fraction,
+        )
         with self._lock:
             self._rules[site] = rule
         return rule
@@ -149,8 +194,22 @@ class FaultInjector:
         finally:
             self.disarm(site)
 
-    def fire(self, site: str) -> None:
-        """Hit ``site``: sleep and/or raise when an armed rule says so."""
+    def fire(
+        self,
+        site: str,
+        *,
+        payload_len: int = 0,
+        payload_writer: Callable[[int], None] | None = None,
+    ) -> None:
+        """Hit ``site``: sleep and/or raise when an armed rule says so.
+
+        Write-capable sites pass the size of the bytes about to hit the
+        media (``payload_len``) and a ``payload_writer`` callback that,
+        given ``n``, persists exactly the first ``n`` payload bytes.  A rule
+        armed with ``torn_fraction`` uses them to model a torn write: the
+        prefix is persisted, then the rule's error (typically
+        :class:`CrashError`) is raised before the rest ever lands.
+        """
         with self._lock:
             self._site_hits[site] = self._site_hits.get(site, 0) + 1
             rule = self._rules.get(site)
@@ -160,4 +219,13 @@ class FaultInjector:
         # Sleep outside the lock so a slow site never blocks other sites.
         if rule.delay > 0.0:
             time.sleep(rule.delay)
+        if (
+            rule.torn_fraction is not None
+            and payload_writer is not None
+            and payload_len > 0
+        ):
+            keep = int(payload_len * rule.torn_fraction)
+            if keep > 0:
+                payload_writer(min(keep, payload_len))
+            rule.torn_writes += 1
         rule._raise()

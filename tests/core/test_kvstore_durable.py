@@ -1,0 +1,175 @@
+"""Durable-mode KVStore tests: transactional writes and full recovery.
+
+A "restart" here is the real thing: the device is the only object carried
+over; controller, pool, catalog, index, validity map, allocator and DAP
+are all rebuilt by :meth:`KVStore.open`.
+"""
+
+import pytest
+
+from repro.core import KVStore
+from repro.core.config import fast_test_config
+from repro.nvm import MemoryController, NVMDevice
+from repro.pmem import PersistentCatalog, PersistentPool
+from repro.testing import (
+    CrashError,
+    FaultInjector,
+    KVCrashHarness,
+    check_durable_invariants,
+)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return KVCrashHarness()
+
+
+class TestDurableLifecycle:
+    def test_put_get_delete_roundtrip(self, harness):
+        _, _, store = harness.fresh(FaultInjector())
+        assert store.put(b"alpha", b"one") >= 0
+        store.put(b"beta", b"two")
+        assert store.get(b"alpha") == b"one"
+        assert store.get(b"beta") == b"two"
+        assert store.delete(b"alpha") is True
+        assert store.get(b"alpha") is None
+        assert store.delete(b"alpha") is False
+        assert len(store) == 1
+
+    def test_update_recycles_old_segment(self, harness):
+        _, _, store = harness.fresh(FaultInjector())
+        addr1 = store.put(b"k", b"v1")
+        addr2 = store.put(b"k", b"v2-longer")
+        assert addr1 != addr2
+        assert store.get(b"k") == b"v2-longer"
+        free = set(store.pool.free_addresses())
+        assert addr1 in free and addr2 not in free
+
+    def test_epoch_increases_per_put(self, harness):
+        _, _, store = harness.fresh(FaultInjector())
+        store.put(b"a", b"x")
+        store.put(b"b", b"y")
+        store.put(b"a", b"z")
+        epochs = sorted(e.epoch for e in store.catalog.scan())
+        assert len(epochs) == len(set(epochs)) == 2  # live records only
+        assert store.catalog.max_epoch() == 3
+
+    def test_key_exceeding_capacity_raises(self, harness):
+        _, _, store = harness.fresh(FaultInjector())
+        with pytest.raises(ValueError, match="key capacity"):
+            store.put(b"K" * (harness.key_capacity + 1), b"v")
+
+
+class TestReopenFromMedia:
+    def test_reopen_rebuilds_everything_from_media_alone(self, harness):
+        """Acceptance: a fresh PersistentPool over the same device must
+        reconstruct index, validity map, allocator state and DAP."""
+        device, _, store = harness.fresh(FaultInjector())
+        oracle = {}
+        for i in range(20):
+            key = b"user%03d" % (i % 7)
+            value = bytes([i + 1]) * (i + 1)
+            store.put(key, value)
+            oracle[key] = value
+        store.delete(b"user003")
+        del oracle[b"user003"]
+        expected = dict(store.items())
+        assert expected == oracle
+        del store  # every DRAM structure dies here
+
+        reopened = harness.reopen(device)
+        check_durable_invariants(reopened, oracle)
+        report = reopened.recovery
+        assert report is not None
+        assert report.rolled_back_records == 0  # clean shutdown
+        assert report.live_objects == len(oracle)
+        assert report.free_objects == (
+            reopened.pool.capacity_objects - len(oracle)
+        )
+        assert report.duplicate_keys_dropped == 0
+        assert report.max_epoch == 20
+
+    def test_reopened_store_stays_fully_functional(self, harness):
+        device, _, store = harness.fresh(FaultInjector())
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        del store
+        reopened = harness.reopen(device)
+        reopened.put(b"c", b"3")
+        reopened.put(b"a", b"1-updated")
+        reopened.delete(b"b")
+        assert dict(reopened.items()) == {b"a": b"1-updated", b"c": b"3"}
+        # Epochs continue past the recovered maximum.
+        assert reopened.catalog.max_epoch() > 2
+
+    def test_reopen_empty_store(self, harness):
+        device, _, store = harness.fresh(FaultInjector())
+        del store
+        reopened = harness.reopen(device)
+        assert len(reopened) == 0
+        assert reopened.recovery.live_objects == 0
+        check_durable_invariants(reopened, {})
+
+
+class TestCrashedPut:
+    def test_crash_mid_put_preserves_previous_value(self, harness):
+        faults = FaultInjector()
+        device, _, store = harness.fresh(faults)
+        store.put(b"k", b"stable")
+        faults.arm("tx.write", error=CrashError, after=1, torn_fraction=0.5)
+        with pytest.raises(CrashError):
+            store.put(b"k", b"doomed")
+        del store
+        reopened = harness.reopen(device)
+        check_durable_invariants(reopened, {b"k": b"stable"})
+
+    def test_unacked_put_is_invisible_after_crash(self, harness):
+        """Crashing at the commit site (before the flag clears) must leave
+        the un-acknowledged PUT invisible."""
+        faults = FaultInjector()
+        device, _, store = harness.fresh(faults)
+        store.put(b"old", b"acked")
+        faults.arm("tx.commit", error=CrashError)
+        with pytest.raises(CrashError):
+            store.put(b"new", b"never-acked")
+        del store
+        reopened = harness.reopen(device)
+        check_durable_invariants(reopened, {b"old": b"acked"})
+
+    def test_non_crash_error_unclaims_address(self, harness):
+        """An ordinary failure inside the transaction rolls back and
+        returns the placed address to the DAP (no leak, store usable)."""
+        faults = FaultInjector()
+        _, _, store = harness.fresh(faults)
+        store.put(b"k", b"stable")
+        free_before = set(store.pool.free_addresses())
+        with faults.injected("tx.write", error=OSError("media error")):
+            with pytest.raises(OSError):
+                store.put(b"k", b"doomed")
+        assert store.get(b"k") == b"stable"
+        assert set(store.pool.free_addresses()) == free_before
+        assert set(store.engine.free_addresses()) == free_before
+        store.put(b"k", b"recovered")  # still fully usable
+        assert store.get(b"k") == b"recovered"
+
+
+class TestConstruction:
+    def test_pool_without_catalog_rejected(self, harness):
+        _, pool, store = harness.fresh(FaultInjector())
+        with pytest.raises(ValueError, match="both pool and catalog"):
+            KVStore(store.engine, pool=pool)
+
+    def test_undersized_log_rejected(self):
+        """create() must refuse a log too small for a worst-case PUT."""
+        device = NVMDevice(
+            capacity_bytes=32 * 64, segment_size=64,
+            initial_fill="random", seed=0,
+        )
+        meta = PersistentCatalog.meta_segments_for(32, 1, 64, 16)
+        pool = PersistentPool(
+            MemoryController(device), log_segments=1, meta_segments=meta
+        )
+        with pytest.raises(ValueError, match="undo log"):
+            KVStore.create(
+                pool, config=fast_test_config(), key_capacity=16
+            )

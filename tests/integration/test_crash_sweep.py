@@ -1,0 +1,63 @@
+"""Exhaustive crash-point sweeps over the durable KV store.
+
+Tier 1 runs a small-but-complete sweep (every fired site, torn variants
+included).  The ``crash``-marked test is the acceptance sweep — a seeded
+YCSB-style trace of 200+ operations crashed at every fired device-write
+and transaction-boundary site — and runs in CI's dedicated crash-sweep
+job (``pytest -m crash``).
+"""
+
+import pytest
+
+from repro.testing import (
+    DEFAULT_CRASH_SITES,
+    DEFAULT_TORN_SITES,
+    KVCrashHarness,
+    make_ycsb_trace,
+    run_crash_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return KVCrashHarness()
+
+
+def test_small_sweep_every_point_recovers(harness):
+    trace = make_ycsb_trace(30, n_keys=8, value_size=64, seed=3)
+    report = run_crash_sweep(harness, trace)
+    assert report.passed, report.failures[:5]
+    # Every instrumented site was actually reached and crashed at.
+    for site in DEFAULT_CRASH_SITES:
+        assert report.site_hits[site] > 0, site
+    assert report.crash_points == sum(report.site_hits.values()) + sum(
+        report.site_hits[s] for s in DEFAULT_TORN_SITES
+    )
+    assert report.torn_points > 0
+    assert report.clean_replays == 0
+
+
+def test_trace_generator_is_deterministic():
+    assert make_ycsb_trace(25, seed=9) == make_ycsb_trace(25, seed=9)
+    assert make_ycsb_trace(25, seed=9) != make_ycsb_trace(25, seed=10)
+
+
+def test_trace_mix_validation():
+    with pytest.raises(ValueError, match="sum to 1"):
+        make_ycsb_trace(10, mix=(0.5, 0.5, 0.5))
+
+
+@pytest.mark.crash
+def test_exhaustive_sweep_acceptance(harness):
+    """Acceptance criterion: >=200 ops, a crash at every fired
+    device.write / tx.* site, torn-write variants included — and every
+    single crash point recovers to exactly the acknowledged state."""
+    trace = make_ycsb_trace(200, n_keys=10, value_size=64, seed=11)
+    report = run_crash_sweep(harness, trace)
+    assert report.passed, (
+        f"{len(report.failures)} of {report.crash_points} crash points "
+        f"failed; first: {report.failures[:3]}"
+    )
+    assert report.ops >= 200
+    assert report.crash_points > 1000
+    assert report.torn_points > 300

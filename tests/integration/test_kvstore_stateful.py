@@ -1,15 +1,29 @@
-"""Hypothesis stateful model-checking of the KV store."""
+"""Hypothesis stateful model-checking of the KV store.
+
+Two machines: the volatile store against a dict model, and the durable
+store with a crash rule — random PUT/UPDATE/DELETE interleavings where a
+crash can strike any fault site mid-PUT (torn writes included), the
+process "dies", and the store is re-opened from the media and compared
+against the model oracle of acknowledged operations.
+"""
 
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
     invariant,
+    precondition,
     rule,
 )
 from hypothesis import strategies as st
 
 from repro.core import KVStore
+from repro.testing import CrashError, FaultInjector
+from repro.testing.crash_sweep import (
+    DEFAULT_CRASH_SITES,
+    KVCrashHarness,
+    check_durable_invariants,
+)
 from tests.conftest import make_engine
 
 KEYS = [b"key%02d" % i for i in range(12)]
@@ -68,4 +82,103 @@ class KVStoreMachine(RuleBasedStateMachine):
 TestKVStoreStateful = KVStoreMachine.TestCase
 TestKVStoreStateful.settings = settings(
     max_examples=15, stateful_step_count=30, deadline=None
+)
+
+
+_HARNESS: KVCrashHarness | None = None
+
+
+def _harness() -> KVCrashHarness:
+    """One trained harness for every durable-machine example."""
+    global _HARNESS
+    if _HARNESS is None:
+        _HARNESS = KVCrashHarness()
+    return _HARNESS
+
+
+class DurableKVStoreMachine(RuleBasedStateMachine):
+    """Durable store vs a dict oracle, with crash-and-reopen as a rule.
+
+    The oracle records an operation only when the call returns (the
+    acknowledgement), so after every crash + recovery the recovered store
+    must equal it exactly.
+    """
+
+    @initialize()
+    def setup(self) -> None:
+        self.faults = FaultInjector()
+        h = _harness()
+        self.device, _, self.store = h.fresh(self.faults)
+        self.model: dict[bytes, bytes] = {}
+        self._counter = 0
+
+    def _value(self, size: int) -> bytes:
+        self._counter += 1
+        return ((b"%04d" % self._counter) * 16)[:size]
+
+    @rule(key=st.sampled_from(KEYS), size=st.integers(1, 64))
+    def put(self, key: bytes, size: int) -> None:
+        value = self._value(size)
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=st.sampled_from(KEYS))
+    def get(self, key: bytes) -> None:
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete(self, key: bytes) -> None:
+        assert self.store.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(
+        key=st.sampled_from(KEYS),
+        size=st.integers(1, 64),
+        site=st.sampled_from(DEFAULT_CRASH_SITES),
+        skip=st.integers(0, 2),
+        torn=st.none() | st.floats(0.0, 1.0),
+    )
+    def crash_during_put(self, key, size, site, skip, torn) -> None:
+        """Arm a random crash point, attempt a PUT, die, reopen, compare."""
+        self.faults.arm(
+            site, error=CrashError, after=skip, times=1, torn_fraction=torn
+        )
+        value = self._value(size)
+        crashed = False
+        try:
+            self.store.put(key, value)
+            self.model[key] = value  # survived (site fired late or never)
+        except CrashError:
+            crashed = True
+        finally:
+            self.faults.disarm(site)
+        if crashed:
+            del self.store  # process death
+            h = _harness()
+            self.store = h.reopen(self.device)
+            check_durable_invariants(self.store, self.model)
+            # Re-attach injection for the rules that follow.
+            self.device.faults = self.faults
+            self.store.pool.faults = self.faults
+            self.store.engine.faults = self.faults
+
+    @precondition(lambda self: hasattr(self, "store"))
+    @invariant()
+    def store_matches_oracle(self) -> None:
+        assert dict(self.store.items()) == self.model
+
+    @precondition(lambda self: hasattr(self, "store"))
+    @invariant()
+    def pool_is_conserved(self) -> None:
+        pool = self.store.pool
+        free = set(pool.free_addresses())
+        assert len(free) + len(pool.allocated_addresses()) == (
+            pool.capacity_objects
+        )
+        assert set(self.store.engine.free_addresses()) == free
+
+
+TestDurableKVStoreStateful = DurableKVStoreMachine.TestCase
+TestDurableKVStoreStateful.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
 )

@@ -10,6 +10,7 @@ import pytest
 
 from repro.nvm import MemoryController, NVMDevice
 from repro.pmem import PersistentPool
+from repro.testing import CrashError, FaultInjector
 
 
 def make_device(n_segments=24, seed=0):
@@ -134,6 +135,116 @@ class TestCrashRecovery:
         # The re-registered segment is not handed out again.
         handed = {recovered.alloc() for _ in range(recovered.capacity_objects - 1)}
         assert addr not in handed
+
+    def test_recover_resets_counter_on_clean_flag(self):
+        """A second recover() on clean media must report 0, not echo the
+        previous recovery's count."""
+        device = make_device(seed=8)
+        crash_mid_transaction(device, [(0, b"A" * 64), (1, b"B" * 64)])
+        pool = PersistentPool(MemoryController(device), log_segments=8)
+        assert pool.recover() == 2
+        assert pool.recovered_records == 2
+        assert pool.recover() == 0
+        assert pool.recovered_records == 0
+
+    def test_recover_is_idempotent(self):
+        """Recovering twice (without new transactions) is harmless: undo
+        records replay absolute old content, not deltas."""
+        device = make_device(seed=9)
+        baseline = device.peek(64 * 8, 64).tobytes()
+        crash_mid_transaction(device, [(0, b"A" * 64)])
+        for _ in range(3):
+            pool = PersistentPool(
+                MemoryController(device), log_segments=8, recover=True
+            )
+            assert pool.read(64 * 8, 64) == baseline
+
+    def test_crash_during_recovery_then_recover_again(self):
+        """A crash tearing a rollback write mid-recovery leaves the log
+        active (the flag clears only after every record replays), so the
+        next recovery repairs everything."""
+        device = make_device(seed=10)
+        baseline = {
+            64 * 8: device.peek(64 * 8, 64).tobytes(),
+            64 * 9: device.peek(64 * 9, 64).tobytes(),
+            64 * 10: device.peek(64 * 10, 64).tobytes(),
+        }
+        crash_mid_transaction(
+            device, [(0, b"A" * 64), (1, b"B" * 64), (2, b"C" * 64)]
+        )
+        faults = FaultInjector()
+        faults.arm(
+            "recover.rollback", error=CrashError, after=1, torn_fraction=0.5
+        )
+        crashing = PersistentPool(
+            MemoryController(device), log_segments=8, faults=faults
+        )
+        with pytest.raises(CrashError):
+            crashing.recover()
+        # The second rollback write landed only half: media is now in a
+        # state neither before nor after the transaction...
+        recovered = PersistentPool(
+            MemoryController(device), log_segments=8, recover=True
+        )
+        # ...but the log survived the crash, so recovery completes now.
+        assert recovered.recovered_records == 3
+        for addr, old in baseline.items():
+            assert recovered.read(addr, 64) == old
+
+    def test_crash_error_in_context_manager_skips_rollback(self):
+        """CrashError means process death: the media must be left exactly
+        as the crash left it — rolled back only by the *next* recover()."""
+        device = make_device(seed=11)
+        faults = FaultInjector()
+        pool = PersistentPool(
+            MemoryController(device), log_segments=8, faults=faults
+        )
+        addr = pool.alloc()
+        pool.write(addr, b"OLD" + bytes(61))
+        faults.arm("tx.commit", error=CrashError)
+        with pytest.raises(CrashError):
+            with pool.transaction() as tx:
+                tx.write(addr, b"NEW" + bytes(61))
+        # No rollback happened: the in-place write is still on the media
+        # and the log is still active.
+        assert device.peek(addr, 3).tobytes() == b"NEW"
+        assert device.peek(0, 1)[0] == 1
+        recovered = PersistentPool(
+            MemoryController(device), log_segments=8, recover=True
+        )
+        assert recovered.recovered_records == 1
+        assert recovered.read(addr, 3) == b"OLD"
+
+    def test_torn_log_record_over_stale_valid_byte(self):
+        """The log region is reused: after a committed multi-record
+        transaction, a crash tearing the *first* log write of the next
+        transaction leaves stale bytes (including a stale valid byte
+        further out) behind the torn record.  The CRC and pre-zeroed valid
+        byte must keep recovery from replaying garbage."""
+        device = make_device(seed=12)
+        faults = FaultInjector()
+        pool = PersistentPool(
+            MemoryController(device), log_segments=8, faults=faults
+        )
+        a, b = pool.alloc(), pool.alloc()
+        with pool.transaction() as tx:  # big committed tx fills the log
+            tx.write(a, b"1" * 64)
+            tx.write(b, b"2" * 64)
+        with pool.transaction() as tx:
+            tx.write(a, b"3" * 64)
+        # Next transaction: tear its first (and only) undo record.
+        faults.arm("tx.log", error=CrashError, torn_fraction=0.6)
+        with pytest.raises(CrashError):
+            with pool.transaction() as tx:
+                tx.write(a, b"X" * 64)
+        recovered = PersistentPool(
+            MemoryController(device), log_segments=8, recover=True
+        )
+        # The torn record must not replay; nothing was written in place,
+        # so the committed content stands.
+        assert recovered.recovered_records == 0
+        assert recovered.read(a, 64) == b"3" * 64
+        assert recovered.read(b, 64) == b"2" * 64
 
     def test_recovery_under_random_crashes(self):
         """Random crash points across a random workload: the surviving

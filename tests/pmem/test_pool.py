@@ -38,8 +38,57 @@ class TestAllocator:
         pool, _ = make_pool()
         addr = pool.alloc()
         pool.free(addr)
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError, match="double free"):
             pool.free(addr)
+
+    def test_free_rejects_log_region_address(self):
+        pool, _ = make_pool(log_segments=2)
+        with pytest.raises(ValueError, match="log"):
+            pool.free(64)  # inside the 2-segment log region
+
+    def test_free_rejects_metadata_region_address(self):
+        dev = NVMDevice(
+            capacity_bytes=16 * 64, segment_size=64,
+            initial_fill="random", seed=0,
+        )
+        pool = PersistentPool(
+            MemoryController(dev), log_segments=2, meta_segments=2
+        )
+        with pytest.raises(ValueError, match="metadata"):
+            pool.free(3 * 64)
+
+    def test_free_rejects_unaligned_address(self):
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        with pytest.raises(ValueError, match="segment-aligned"):
+            pool.free(addr + 1)
+
+    def test_free_never_allocated_object_address(self):
+        pool, _ = make_pool()
+        free_addr = pool.free_addresses()[0]
+        with pytest.raises(KeyError, match="already free"):
+            pool.free(free_addr)
+
+    def test_mark_allocated_is_idempotent_and_validated(self):
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        pool.mark_allocated(addr)  # already allocated: no-op
+        assert addr in pool.allocated_addresses()
+        free_addr = pool.free_addresses()[0]
+        pool.mark_allocated(free_addr)
+        assert free_addr in pool.allocated_addresses()
+        assert free_addr not in pool.free_addresses()
+        with pytest.raises(KeyError):
+            pool.mark_allocated(3)  # not a pool segment
+
+    def test_mark_allocated_many_is_fast_path(self):
+        """O(1) per call: re-registering every segment of a larger pool
+        must not degrade (the old implementation rebuilt a list per call)."""
+        pool, _ = make_pool(n_segments=256, log_segments=2)
+        for addr in list(pool.free_addresses()):
+            pool.mark_allocated(addr)
+        assert pool.free_addresses() == []
+        assert len(pool.allocated_addresses()) == pool.capacity_objects
 
     def test_allocations_avoid_log_region(self):
         pool, _ = make_pool(log_segments=3)
@@ -128,4 +177,47 @@ class TestTransactions:
         with pytest.raises(RuntimeError):
             with pool.transaction() as tx:
                 for addr in addrs:
-                    tx.write(addr, b"Z" * 64)  # 4x(12+64+1) > 112 B of log
+                    tx.write(addr, b"Z" * 64)  # 4x(16+64+5) > 112 B of log
+
+    def test_nested_transaction_raises(self):
+        """The undo log holds one transaction; nesting must fail loudly
+        instead of silently resetting the first transaction's records."""
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        pool.write(addr, b"X" * 64)
+        with pool.transaction() as tx:
+            tx.write(addr, b"Y" * 64)
+            with pytest.raises(RuntimeError, match="already active"):
+                pool.transaction().__enter__()
+        # The outer transaction still committed intact.
+        assert pool.read(addr, 64) == b"Y" * 64
+
+    def test_transaction_object_reuse_raises(self):
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        tx = pool.transaction()
+        with tx:
+            tx.write(addr, b"A" * 64)
+        with pytest.raises(RuntimeError, match="single-use"):
+            tx.__enter__()
+
+    def test_reentering_active_transaction_raises(self):
+        pool, _ = make_pool()
+        tx = pool.transaction()
+        tx.__enter__()
+        with pytest.raises(RuntimeError, match="already active"):
+            tx.__enter__()
+
+    def test_rolled_back_transaction_is_also_single_use(self):
+        pool, _ = make_pool()
+        addr = pool.alloc()
+        tx = pool.transaction()
+        with tx:
+            tx.write(addr, b"A" * 64)
+            tx.abort()
+        with pytest.raises(RuntimeError, match="single-use"):
+            tx.__enter__()
+        # And a fresh transaction works after the rollback.
+        with pool.transaction() as tx2:
+            tx2.write(addr, b"B" * 64)
+        assert pool.read(addr, 64) == b"B" * 64

@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from repro.testing import FaultError, FaultInjector
+from repro.testing import CrashError, FaultError, FaultInjector
 
 
 class TestArming:
@@ -87,3 +87,60 @@ class TestFiring:
                 faults.fire("site")
         assert not faults.armed("site")
         faults.fire("site")  # disarmed on exit
+
+
+class TestCrashAndTornWrites:
+    def test_crash_error_escapes_except_exception(self):
+        """CrashError must not be swallowed by ordinary cleanup handlers."""
+        assert not issubclass(CrashError, Exception)
+        faults = FaultInjector()
+        faults.arm("site", error=CrashError)
+        with pytest.raises(CrashError):
+            try:
+                faults.fire("site")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("CrashError was caught as a plain Exception")
+
+    def test_torn_fraction_validation(self):
+        faults = FaultInjector()
+        with pytest.raises(ValueError):
+            faults.arm("site", error=CrashError, torn_fraction=-0.1)
+        with pytest.raises(ValueError):
+            faults.arm("site", error=CrashError, torn_fraction=1.5)
+
+    def test_torn_write_persists_prefix_then_raises(self):
+        faults = FaultInjector()
+        rule = faults.arm("w", error=CrashError, torn_fraction=0.5)
+        sink = bytearray(8)
+        payload = b"ABCDEFGH"
+
+        def writer(n):
+            sink[:n] = payload[:n]
+
+        with pytest.raises(CrashError):
+            faults.fire("w", payload_len=len(payload), payload_writer=writer)
+        assert bytes(sink) == b"ABCD\x00\x00\x00\x00"
+        assert rule.torn_writes == 1
+
+    def test_torn_fraction_zero_tears_nothing(self):
+        faults = FaultInjector()
+        rule = faults.arm("w", error=CrashError, torn_fraction=0.0)
+        sink = bytearray(4)
+        with pytest.raises(CrashError):
+            faults.fire(
+                "w",
+                payload_len=4,
+                payload_writer=lambda n: sink.__setitem__(
+                    slice(0, n), b"XXXX"[:n]
+                ),
+            )
+        assert bytes(sink) == b"\x00" * 4  # nothing persisted
+        assert rule.torn_writes == 1
+
+    def test_torn_rule_on_non_write_site_just_raises(self):
+        """A site that passes no payload fires as a plain crash."""
+        faults = FaultInjector()
+        rule = faults.arm("site", error=CrashError, torn_fraction=0.5)
+        with pytest.raises(CrashError):
+            faults.fire("site")
+        assert rule.torn_writes == 0
