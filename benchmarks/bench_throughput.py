@@ -1,0 +1,220 @@
+"""Hot write-path throughput: per-op vs batched vs multi-threaded.
+
+Measures the placement write path after the lock-narrowing and
+batched-inference overhaul:
+
+- **single-thread ops/s** — per-op ``engine.write`` + ``engine.release``
+  (the steady-state PUT/recycle stream every figure benchmark drives);
+- **4-thread ops/s** — the same loop on one shared engine.  Forward passes
+  run *outside* the swap lock, so concurrent writers overlap inside BLAS
+  (which drops the GIL) and only serialise on the short DAP pop;
+- **batched ops/s** — ``engine.write_many`` + ``release_many`` for several
+  batch sizes: one stacked forward pass, one DAP claim, one vectorised
+  device write per batch;
+- **p50/p99 place latency** — per-call ``engine.place`` wall time.
+
+Results land in ``BENCH_throughput.json`` at the repo root.  ``--quick``
+shrinks op counts (same shapes) for CI smoke runs; ``--check`` compares
+the single-thread ops/s against the committed JSON and exits non-zero on a
+>30% regression instead of overwriting it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+
+from common import (
+    REPO_ROOT,
+    bench_arg_parser,
+    bench_config,
+    emit_json,
+    print_table,
+    seeded_engine,
+)
+
+SEGMENT_SIZE = 1024
+N_SEGMENTS = 256
+N_THREADS = 4
+BATCH_SIZES = (8, 32, 128)
+JSON_PATH = REPO_ROOT / "BENCH_throughput.json"
+#: ``--check`` fails when single-thread ops/s drops below this fraction of
+#: the committed baseline.
+REGRESSION_FLOOR = 0.70
+
+
+def _make_values(n: int, seed: int = 11) -> list[bytes]:
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(n, SEGMENT_SIZE), dtype=np.uint8)
+    return [row.tobytes() for row in data]
+
+
+def _build_engine():
+    # Full-segment values: padding is a no-op on this path, so the per-op
+    # cost is prediction + claim + differential write, not padding.
+    config = bench_config(
+        hidden=(64,),
+        train_sample_limit=N_SEGMENTS,
+        ones_fraction_refresh_writes=0,  # no mid-run content re-sampling
+    )
+    return seeded_engine(
+        _make_values(N_SEGMENTS, seed=3), SEGMENT_SIZE, config=config
+    )
+
+
+def _run_single(engine, values: list[bytes]) -> float:
+    start = time.perf_counter()
+    for value in values:
+        addr, _ = engine.write(value)
+        engine.release(addr)
+    return len(values) / (time.perf_counter() - start)
+
+
+def _run_threaded(engine, values: list[bytes], n_threads: int) -> float:
+    chunks = [values[i::n_threads] for i in range(n_threads)]
+    barrier = threading.Barrier(n_threads + 1)
+
+    def worker(chunk: list[bytes]) -> None:
+        barrier.wait()
+        for value in chunk:
+            addr, _ = engine.write(value)
+            engine.release(addr)
+
+    threads = [
+        threading.Thread(target=worker, args=(chunk,)) for chunk in chunks
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    return len(values) / (time.perf_counter() - start)
+
+
+def _run_batched(engine, values: list[bytes], batch_size: int) -> float:
+    start = time.perf_counter()
+    done = 0
+    while done < len(values):
+        batch = values[done : done + batch_size]
+        placed = engine.write_many(batch)
+        engine.release_many([addr for addr, _ in placed])
+        done += len(batch)
+    return len(values) / (time.perf_counter() - start)
+
+
+def _place_latencies(engine, values: list[bytes]) -> np.ndarray:
+    out = np.empty(len(values))
+    for i, value in enumerate(values):
+        start = time.perf_counter()
+        addr = engine.place(value)
+        out[i] = time.perf_counter() - start
+        engine.release(addr)  # restore the pool, untimed
+    return out * 1e6  # µs
+
+
+def run_throughput(quick: bool = False) -> dict:
+    n_ops = 400 if quick else 2000
+    n_latency = 100 if quick else 500
+    engine = _build_engine()
+    values = _make_values(n_ops, seed=17)
+
+    single = _run_single(engine, values)
+    threaded = _run_threaded(engine, values, N_THREADS)
+    batched = {b: _run_batched(engine, values, b) for b in BATCH_SIZES}
+    latencies = _place_latencies(engine, values[:n_latency])
+
+    return {
+        "segment_size": SEGMENT_SIZE,
+        "n_segments": N_SEGMENTS,
+        "n_ops": n_ops,
+        "quick": quick,
+        # Thread scaling is bounded by the core count: on a 1-core box the
+        # 4-thread number only measures lock-contention overhead.
+        "cpu_count": os.cpu_count(),
+        "single_thread_ops_per_s": round(single, 1),
+        "multi_thread": {
+            "threads": N_THREADS,
+            "ops_per_s": round(threaded, 1),
+            "scaling_x": round(threaded / single, 2),
+        },
+        "batched_ops_per_s": {
+            str(b): round(ops, 1) for b, ops in batched.items()
+        },
+        "batched_speedup_32x": round(batched[32] / single, 2),
+        "place_latency_us": {
+            "p50": round(float(np.percentile(latencies, 50)), 1),
+            "p99": round(float(np.percentile(latencies, 99)), 1),
+        },
+        "mean_prediction_latency_us": round(
+            engine.pipeline.mean_prediction_latency_us, 1
+        ),
+    }
+
+
+def report(result: dict) -> None:
+    rows = [
+        ["single-thread write+release", result["single_thread_ops_per_s"]],
+        [
+            f"{result['multi_thread']['threads']}-thread write+release "
+            f"({result['multi_thread']['scaling_x']}x)",
+            result["multi_thread"]["ops_per_s"],
+        ],
+    ]
+    for batch, ops in result["batched_ops_per_s"].items():
+        rows.append([f"batched write_many (B={batch})", ops])
+    print_table("Write-path throughput", ["path", "ops/s"], rows)
+    lat = result["place_latency_us"]
+    print(
+        f"place latency: p50 {lat['p50']} us, p99 {lat['p99']} us; "
+        f"mean prediction {result['mean_prediction_latency_us']} us"
+    )
+
+
+def check_regression(result: dict) -> int:
+    """Compare against the committed baseline; 0 = OK, 1 = regressed."""
+    if not JSON_PATH.exists():
+        print(f"[no committed baseline at {JSON_PATH}; skipping check]")
+        return 0
+    import json
+
+    baseline = json.loads(JSON_PATH.read_text())
+    floor = baseline["single_thread_ops_per_s"] * REGRESSION_FLOOR
+    current = result["single_thread_ops_per_s"]
+    if current < floor:
+        print(
+            f"REGRESSION: single-thread {current:.0f} ops/s is below "
+            f"{REGRESSION_FLOOR:.0%} of the committed "
+            f"{baseline['single_thread_ops_per_s']:.0f} ops/s"
+        )
+        return 1
+    print(
+        f"[perf check OK: {current:.0f} ops/s vs committed "
+        f"{baseline['single_thread_ops_per_s']:.0f} ops/s, "
+        f"floor {floor:.0f}]"
+    )
+    return 0
+
+
+def main() -> None:
+    parser = bench_arg_parser(__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed BENCH_throughput.json instead "
+        "of overwriting it; exit 1 on a >30%% single-thread regression",
+    )
+    args = parser.parse_args()
+    result = run_throughput(quick=args.quick)
+    report(result)
+    if args.check:
+        sys.exit(check_regression(result))
+    emit_json(JSON_PATH, result)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,11 +9,43 @@ numbers, are the reproduction target — see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import argparse
+import json
+import pathlib
+
 import numpy as np
 
 from repro.core import E2NVM
 from repro.core.config import E2NVMConfig
 from repro.nvm import MemoryController, NVMDevice
+
+#: Repository root (benchmarks/ lives directly under it) — JSON artifacts
+#: land here so CI can diff them against committed baselines.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def bench_arg_parser(description: str | None = None) -> argparse.ArgumentParser:
+    """Argument parser with the flags every benchmark shares.
+
+    ``--quick`` asks for a reduced-size run (fewer ops/sweep points, same
+    shapes) suitable for CI smoke jobs; benchmarks read ``args.quick`` and
+    scale their counts accordingly.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-size run for CI smoke checks",
+    )
+    return parser
+
+
+def emit_json(path: pathlib.Path | str, payload: dict) -> pathlib.Path:
+    """Write a benchmark result as stable (sorted, indented) JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[wrote {path}]")
+    return path
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

@@ -12,8 +12,9 @@ from __future__ import annotations
 import csv
 import importlib
 import pathlib
-import sys
 import time
+
+from common import bench_arg_parser
 
 
 def dump_csv(directory: pathlib.Path, name: str, result) -> None:
@@ -60,10 +61,16 @@ BENCHES = [
 
 
 def main() -> None:
-    quick = "--quick" in sys.argv
+    parser = bench_arg_parser(__doc__)
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="additionally dump each benchmark's raw rows as CSV files",
+    )
+    args = parser.parse_args()
+    quick = args.quick
     csv_dir = None
-    if "--csv" in sys.argv:
-        csv_dir = pathlib.Path(sys.argv[sys.argv.index("--csv") + 1])
+    if args.csv:
+        csv_dir = pathlib.Path(args.csv)
         csv_dir.mkdir(parents=True, exist_ok=True)
     total_start = time.perf_counter()
     for module_name, runner_name, slow in BENCHES:

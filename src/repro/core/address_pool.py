@@ -33,6 +33,11 @@ class DynamicAddressPool:
             c: deque() for c in range(n_clusters)
         }
         self._lock = threading.Lock()
+        # Nearest-neighbour fallback cache: per-cluster centroid-distance
+        # order, memoised on the centroids array identity.  A model swap
+        # installs a new centroids array, which invalidates this naturally.
+        self._cached_centroids: np.ndarray | None = None
+        self._neighbor_order: np.ndarray | None = None
 
     def populate(self, labels, addresses) -> None:
         """Bulk-load (cluster, address) pairs during initialisation."""
@@ -58,6 +63,38 @@ class DynamicAddressPool:
             if fallback is None:
                 raise RuntimeError("dynamic address pool is exhausted")
             return self._pools[fallback].popleft()
+
+    def get_many(
+        self, clusters, centroids: np.ndarray | None = None
+    ) -> list[int]:
+        """Pop one free address per entry of ``clusters`` under a single
+        lock acquisition (the batched write path's claim step).
+
+        Falls back per entry exactly like :meth:`get`.  All-or-nothing: if
+        the pool runs out partway through, every address popped so far is
+        pushed back (in order) and ``RuntimeError`` is raised, so pool
+        accounting stays exact.
+        """
+        with self._lock:
+            popped: list[tuple[int, int]] = []
+            out: list[int] = []
+            for cluster in clusters:
+                cluster = int(cluster)
+                pool = self._pools[cluster]
+                if not pool:
+                    fallback = self._fallback_cluster(cluster, centroids)
+                    if fallback is None:
+                        for source, addr in reversed(popped):
+                            self._pools[source].appendleft(addr)
+                        raise RuntimeError(
+                            "dynamic address pool is exhausted"
+                        )
+                    cluster = fallback
+                    pool = self._pools[cluster]
+                addr = pool.popleft()
+                popped.append((cluster, addr))
+                out.append(addr)
+            return out
 
     def add(self, cluster: int, addr: int) -> None:
         """Recycle ``addr`` into ``cluster`` (the DELETE path)."""
@@ -119,13 +156,32 @@ class DynamicAddressPool:
     def _fallback_cluster(
         self, cluster: int, centroids: np.ndarray | None
     ) -> int | None:
-        non_empty = [c for c, pool in self._pools.items() if pool]
-        if not non_empty:
-            return None
         if centroids is None:
+            non_empty = [c for c, pool in self._pools.items() if pool]
+            if not non_empty:
+                return None
             return max(non_empty, key=lambda c: len(self._pools[c]))
-        target = centroids[cluster]
-        return min(
-            non_empty,
-            key=lambda c: float(np.sum((centroids[c] - target) ** 2)),
-        )
+        # O(k) walk over the cached nearest-centroid order instead of an
+        # O(k * d) distance computation on every empty-cluster miss.
+        for candidate in self._neighbor_order_for(centroids)[cluster]:
+            if self._pools[int(candidate)]:
+                return int(candidate)
+        return None
+
+    def _neighbor_order_for(self, centroids: np.ndarray) -> np.ndarray:
+        """Per-cluster centroid indices sorted by squared distance.
+
+        Memoised on the centroids array object: a trained model's centroid
+        array is stable, and a swap replaces it wholesale.  Ties break on
+        the lower cluster index (stable argsort), matching the previous
+        linear-scan ``min``.
+        """
+        if (
+            self._neighbor_order is None
+            or self._cached_centroids is not centroids
+        ):
+            diffs = centroids[:, None, :] - centroids[None, :, :]
+            sq = np.einsum("ijk,ijk->ij", diffs, diffs)
+            self._neighbor_order = np.argsort(sq, axis=1, kind="stable")
+            self._cached_centroids = centroids
+        return self._neighbor_order

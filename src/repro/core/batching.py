@@ -99,6 +99,52 @@ class WriteBatcher:
         self._open_handles.append(handle)
         return handle
 
+    def put_many(self, values: list[bytes]) -> list[PendingValue]:
+        """Buffer many values; full batches are written in one engine call.
+
+        Behaves like sequential :meth:`put` calls, except every batch that
+        fills up along the way is flushed through ``engine.write_many`` —
+        one forward pass and one vectorised device write for all of them.
+        On a write failure no batcher state changes: the engine has already
+        un-claimed the batch addresses and none of the values (or handles)
+        are committed.
+        """
+        values = list(values)
+        for value in values:
+            if not isinstance(value, bytes) or not value:
+                raise TypeError("values must be non-empty bytes")
+            if len(value) > self.segment_size:
+                raise ValueError(
+                    f"value of {len(value)} bytes exceeds the "
+                    f"{self.segment_size}-byte batch size"
+                )
+        handles: list[PendingValue] = []
+        payloads: list[bytes] = []
+        payload_handles: list[list[PendingValue]] = []
+        buffer = bytearray(self._buffer)
+        open_handles = list(self._open_handles)
+        for value in values:
+            if len(buffer) + len(value) > self.segment_size:
+                payloads.append(
+                    bytes(buffer).ljust(self.segment_size, bytes([self.pad_byte]))
+                )
+                payload_handles.append(open_handles)
+                buffer = bytearray()
+                open_handles = []
+            handle = PendingValue(self, len(buffer), len(value))
+            buffer.extend(value)
+            open_handles.append(handle)
+            handles.append(handle)
+        if payloads:
+            results = self.engine.write_many(payloads)
+            for (addr, _), batch in zip(results, payload_handles):
+                self._live_bytes[addr] = sum(h._length for h in batch)
+                for handle in batch:
+                    handle._resolve(addr)
+        self._buffer = buffer
+        self._open_handles = open_handles
+        return handles
+
     def flush(self) -> int | None:
         """Write the open batch through the engine; returns its address."""
         if not self._buffer:

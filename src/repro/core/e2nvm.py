@@ -91,8 +91,15 @@ class E2NVM:
         self._rng_lock = threading.Lock()
         self._memory_ones_fraction = 0.5
         self._ones_fraction_age = 0
-        # Serialises place/release against background model swaps.
+        # Serialises DAP claims/recycles against background model swaps.
+        # Inference runs OUTSIDE this lock: the write path predicts with a
+        # pipeline reference captured beforehand and re-validates
+        # ``_model_epoch`` under the lock before claiming, retrying if a
+        # swap landed mid-flight.
         self._swap_lock = threading.RLock()
+        # Bumped (under the swap lock) every time a new model/pool pair is
+        # installed; lets lock-free inference detect a concurrent swap.
+        self._model_epoch = 0
         # Guards retrain scheduling state and stats counters.
         self._retrain_admin_lock = threading.Lock()
         self._retrain_thread: threading.Thread | None = None
@@ -202,6 +209,7 @@ class E2NVM:
                 )
             self.pipeline = pipeline
             self.dap = new_dap
+            self._model_epoch += 1
         if bits is not None:
             self._refresh_ones_fraction(bits)
 
@@ -274,18 +282,56 @@ class E2NVM:
     def place(self, value: bytes | np.ndarray) -> int:
         """Algorithm 1, lines 1–4: claim the best free address for a value.
 
+        The model forward pass runs *outside* the swap lock — concurrent
+        writers only serialise on the DAP pop.  The model epoch is
+        re-validated under the lock before claiming; if a background retrain
+        swapped the model mid-prediction, the value is simply re-predicted
+        with the new model (swaps are rare, so retries are too).
+
         When the predicted cluster is empty the pool falls back first-fit
         to the nearest non-empty cluster, so placement degrades gracefully
         instead of failing while a retrain is deferred or in flight.
         """
         self._require_trained()
-        with self._swap_lock:
-            cluster = self.pipeline.predict_cluster(
+        while True:
+            pipeline = self.pipeline
+            epoch = self._model_epoch
+            cluster = pipeline.predict_cluster(
                 value, memory_ones_fraction=self._memory_ones_fraction
             )
-            addr = self.dap.get(cluster, centroids=self.pipeline.centroids)
-            self._allocated.add(addr)
-        return addr
+            with self._swap_lock:
+                if epoch != self._model_epoch:
+                    continue  # model swapped mid-prediction: re-predict
+                addr = self.dap.get(cluster, centroids=pipeline.centroids)
+                self._allocated.add(addr)
+                return addr
+
+    def place_many(self, values: list[bytes | np.ndarray]) -> list[int]:
+        """Claim addresses for a whole batch with one forward pass and one
+        (short) swap-lock acquisition.
+
+        Cluster assignments are identical to per-value :meth:`place` calls
+        (``predict_batch`` is bit-exact with sequential prediction); the
+        DAP pop is all-or-nothing, so a pool-exhaustion failure leaves the
+        pool untouched.
+        """
+        self._require_trained()
+        if not values:
+            return []
+        while True:
+            pipeline = self.pipeline
+            epoch = self._model_epoch
+            clusters = pipeline.predict_batch(
+                values, memory_ones_fraction=self._memory_ones_fraction
+            )
+            with self._swap_lock:
+                if epoch != self._model_epoch:
+                    continue
+                addrs = self.dap.get_many(
+                    clusters, centroids=pipeline.centroids
+                )
+                self._allocated.update(addrs)
+                return addrs
 
     def write(self, value: bytes) -> tuple[int, WriteResult]:
         """Algorithm 1 end-to-end: place, then differential-write the value.
@@ -315,6 +361,39 @@ class E2NVM:
         self.record_committed_write()
         return addr, result
 
+    def write_many(
+        self, values: list[bytes]
+    ) -> list[tuple[int, WriteResult]]:
+        """Algorithm 1 for a whole batch: one forward pass, one short DAP
+        claim, one batched differential write with vectorised accounting.
+
+        Placement is identical to per-value :meth:`write` calls; the device
+        write itself is all-or-nothing for ordinary errors — a failure
+        un-claims every address of the batch (re-clustered back into the
+        DAP) before propagating, so nothing is half-committed.
+        """
+        values = list(values)
+        for value in values:
+            if len(value) > self.segment_size:
+                raise ValueError(
+                    f"value of {len(value)} bytes exceeds segment size "
+                    f"{self.segment_size}"
+                )
+        if not values:
+            return []
+        addrs = self.place_many(values)
+        try:
+            if self.faults is not None:
+                for _ in values:
+                    self.faults.fire("device.write")
+            results = self.controller.write_many(addrs, values)
+        except BaseException:
+            self.failed_writes += len(values)
+            self.release_many(addrs)
+            raise
+        self.record_committed_writes(len(values))
+        return list(zip(addrs, results))
+
     def record_committed_write(self) -> None:
         """Post-write bookkeeping: retrain policy, padding-statistics
         refresh, and the never-failing ``auto_retrain`` hook.
@@ -323,8 +402,16 @@ class E2NVM:
         path, which performs the media write itself (inside an undo-log
         transaction) and calls this once the write has committed.
         """
-        self.policy.record_write()
-        self._note_write_for_ones_fraction()
+        self.record_committed_writes(1)
+
+    def record_committed_writes(self, count: int) -> None:
+        """Batch form of :meth:`record_committed_write`: counts ``count``
+        writes toward the retrain cooldown and padding-statistics refresh,
+        then runs the ``auto_retrain`` hook once."""
+        if count <= 0:
+            return
+        self.policy.record_write(count)
+        self._note_write_for_ones_fraction(count)
         if self.config.auto_retrain:
             try:
                 self.maybe_retrain()
@@ -336,14 +423,35 @@ class E2NVM:
 
     def release(self, addr: int) -> None:
         """Algorithm 2, lines 3–4: re-cluster a freed address into the DAP."""
+        self.release_many([addr])
+
+    def release_many(self, addrs: list[int]) -> None:
+        """Batch recycle: one re-encoding forward pass for all addresses.
+
+        Like :meth:`place`, the segment re-encoding runs outside the swap
+        lock and is retried if a model swap lands mid-flight (the recycled
+        addresses must be labelled by the *installed* model, or they would
+        pollute the freshly relabelled pool).
+        """
         self._require_trained()
-        if addr not in self._allocated:
-            raise KeyError(f"address {addr} is not allocated")
-        bits = self._segment_bits([addr])
-        with self._swap_lock:
-            cluster = int(self.pipeline.predict_segments(bits)[0])
-            self._allocated.discard(addr)
-            self.dap.add(cluster, addr)
+        addrs = list(addrs)
+        for addr in addrs:
+            if addr not in self._allocated:
+                raise KeyError(f"address {addr} is not allocated")
+        if not addrs:
+            return
+        bits = self._segment_bits(addrs)
+        while True:
+            pipeline = self.pipeline
+            epoch = self._model_epoch
+            clusters = pipeline.predict_segments(bits)
+            with self._swap_lock:
+                if epoch != self._model_epoch:
+                    continue  # model swapped mid-encode: re-label
+                for addr, cluster in zip(addrs, clusters):
+                    self._allocated.discard(addr)
+                    self.dap.add(int(cluster), addr)
+                return
 
     def maybe_retrain(self) -> bool:
         """Run the retrain policy; starts a *background* retrain on FIRE.
@@ -521,6 +629,7 @@ class E2NVM:
                     new_dap.populate(labels, free_now)
                 self.pipeline = pipeline
                 self.dap = new_dap
+                self._model_epoch += 1
             except BaseException:
                 self.dap.restore(saved)
                 with self._retrain_admin_lock:
@@ -534,11 +643,11 @@ class E2NVM:
             rows[i] = np.unpackbits(content)
         return rows
 
-    def _note_write_for_ones_fraction(self) -> None:
+    def _note_write_for_ones_fraction(self, count: int = 1) -> None:
         """Periodically re-sample free-segment content so memory-based
         padding tracks drift (the fraction would otherwise go stale between
         retrains)."""
-        self._ones_fraction_age += 1
+        self._ones_fraction_age += count
         interval = self.config.ones_fraction_refresh_writes
         if interval <= 0 or self._ones_fraction_age < interval:
             return

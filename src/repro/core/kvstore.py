@@ -246,6 +246,29 @@ class KVStore:
             return self._put_volatile(key, value)
         return self._put_durable(key, value)
 
+    def put_many(self, items: list[tuple[bytes, bytes]]) -> list[int]:
+        """Insert or update a batch of pairs; returns one address per item.
+
+        Placement for the whole batch is one engine forward pass and one
+        short DAP claim.  In volatile mode the media write is one batched
+        differential write; in durable mode each pair still commits in its
+        own undo-log transaction (the log holds one transaction at a time),
+        in batch order, so the durability contract is byte-identical to
+        sequential :meth:`put` calls — a crash mid-batch leaves a prefix of
+        the batch committed.
+        """
+        items = list(items)
+        for key, value in items:
+            if not isinstance(key, bytes):
+                raise TypeError("keys must be bytes")
+            if not isinstance(value, bytes) or not value:
+                raise TypeError("values must be non-empty bytes")
+        if not items:
+            return []
+        if self.pool is None:
+            return self._put_many_volatile(items)
+        return self._put_many_durable(items)
+
     def _put_volatile(self, key: bytes, value: bytes) -> int:
         old = self.index.get(key)
         addr, _ = self.engine.write(value)
@@ -258,19 +281,74 @@ class KVStore:
             self.engine.release(old_addr)
         return addr
 
+    def _put_many_volatile(self, items: list[tuple[bytes, bytes]]) -> list[int]:
+        results = self.engine.write_many([value for _, value in items])
+        addrs: list[int] = []
+        stale: list[int] = []
+        for (key, value), (addr, _) in zip(items, results):
+            old = self.index.get(key)
+            self._valid[addr] = True
+            self.index.put(key, (addr, len(value)))
+            if old is not None:
+                old_addr, _ = old
+                self._valid[old_addr] = False
+                stale.append(old_addr)
+            addrs.append(addr)
+        if stale:
+            # UPDATEs: previous locations recycled in one re-encoding pass.
+            self.engine.release_many(stale)
+        return addrs
+
     def _put_durable(self, key: bytes, value: bytes) -> int:
         """Algorithm 1 with a real durability contract: value, catalog
         record and (on UPDATE) the old record's flag reset commit or roll
         back as one undo-log transaction.  The PUT is acknowledged only
         after commit; a crash at any earlier point leaves the previous
         store state recoverable."""
+        self._check_durable_key(key)
+        addr = self.engine.place(value)
+        self._commit_durable(key, value, addr)
+        self.engine.record_committed_write()
+        return addr
+
+    def _put_many_durable(self, items: list[tuple[bytes, bytes]]) -> list[int]:
+        for key, _ in items:
+            self._check_durable_key(key)
+        addrs = self.engine.place_many([value for _, value in items])
+        out: list[int] = []
+        for i, ((key, value), addr) in enumerate(zip(items, addrs)):
+            try:
+                self._commit_durable(key, value, addr)
+            except CrashError:
+                raise
+            except BaseException:
+                # ``_commit_durable`` already un-claimed ``addr``; the
+                # not-yet-written rest of the batch is un-claimed here so
+                # the DAP stays exact.  Items before ``i`` stay committed,
+                # exactly as sequential PUTs would leave them.
+                rest = addrs[i + 1 :]
+                if rest:
+                    self.engine.release_many(rest)
+                raise
+            out.append(addr)
+        self.engine.record_committed_writes(len(items))
+        return out
+
+    def _check_durable_key(self, key: bytes) -> None:
         if len(key) > self.catalog.key_capacity:
             raise ValueError(
                 f"key of {len(key)} bytes exceeds catalog key capacity "
                 f"{self.catalog.key_capacity}"
             )
+
+    def _commit_durable(self, key: bytes, value: bytes, addr: int) -> None:
+        """Commit one placed value: undo-log transaction, then DRAM mirrors.
+
+        On a non-crash failure the (rolled-back) transaction's address is
+        un-claimed before the error propagates; a :class:`CrashError`
+        propagates raw — no DRAM cleanup, the harness re-opens from media.
+        """
         old = self.index.get(key)
-        addr = self.engine.place(value)
         epoch = self._next_epoch
         try:
             if self.engine.faults is not None:
@@ -303,8 +381,6 @@ class KVStore:
             self._valid[old_addr] = False
             self.pool.free(old_addr)
             self.engine.release(old_addr)
-        self.engine.record_committed_write()
-        return addr
 
     def get(self, key: bytes) -> bytes | None:
         """Value for ``key``, or ``None`` when absent."""

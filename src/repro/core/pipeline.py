@@ -2,12 +2,20 @@
 
 This wraps :class:`repro.ml.joint.JointVAEKMeans` behind the interface the
 storage layer needs — ``fit`` on segment contents, ``predict_cluster`` for a
-(possibly shorter-than-segment) value — and owns the padding machinery so
-that training and prediction see consistently shaped inputs.
+(possibly shorter-than-segment) value, ``predict_batch`` for many values in
+one forward pass — and owns the padding machinery so that training and
+prediction see consistently shaped inputs.
+
+Thread-safety: prediction is safe to call concurrently.  The model forward
+pass is stateless (see ``MLP.infer``); the padder (whose RNG and dataset
+tracker are shared mutable state) is serialised behind a small internal
+lock, as are the latency counters.  A batch of ``B`` values counts as ``B``
+predictions in the latency statistics.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -16,7 +24,7 @@ from repro.core.config import E2NVMConfig
 from repro.core.padding import DatasetDistributionTracker, Padder
 from repro.ml.joint import JointVAEKMeans
 from repro.ml.lstm import LSTMPredictor
-from repro.util.bits import bytes_to_bits
+from repro.util.bits import bytes_to_bits, bytes_to_bits_many
 from repro.util.rng import rng_from_seed
 
 
@@ -73,6 +81,12 @@ class EncoderPipeline:
         self.trained = False
         self.prediction_count = 0
         self.prediction_seconds = 0.0
+        # Serialises the padder's shared RNG/tracker (and the learned
+        # strategy's LSTM caches); the model forward pass itself is
+        # stateless and runs lock-free.
+        self._pad_lock = threading.Lock()
+        # Guards the latency counters against concurrent predictions.
+        self._stats_lock = threading.Lock()
 
     def fit(self, segment_bits: np.ndarray, verbose: bool = False) -> dict:
         """Train on the bit contents of the (free) memory segments."""
@@ -100,12 +114,35 @@ class EncoderPipeline:
     ) -> int:
         """Cluster id for a value, padding it to the model width if short."""
         bits = self._to_bits(value)
-        padded = self.padder.pad(bits, memory_ones_fraction)
+        with self._pad_lock:
+            padded = self.padder.pad(bits, memory_ones_fraction)
         start = time.perf_counter()
         cluster = self.model.predict_one(padded)
-        self.prediction_seconds += time.perf_counter() - start
-        self.prediction_count += 1
+        self._record_predictions(1, time.perf_counter() - start)
         return cluster
+
+    def predict_batch(
+        self,
+        values: list[bytes | np.ndarray],
+        memory_ones_fraction: float | None = None,
+    ) -> np.ndarray:
+        """Cluster ids for many values via one padded batch forward pass.
+
+        Equivalent to ``[predict_cluster(v) for v in values]`` — padding is
+        bit-exact with the sequential path (see ``Padder.pad_batch``) — but
+        the encoder runs one stacked matmul instead of ``B`` single-row
+        passes, and the batch counts as ``B`` predictions in the latency
+        statistics.
+        """
+        if not values:
+            return np.empty(0, dtype=np.int64)
+        bit_rows = self._to_bits_many(values)
+        with self._pad_lock:
+            padded = self.padder.pad_batch(bit_rows, memory_ones_fraction)
+        start = time.perf_counter()
+        clusters = self.model.predict(padded)
+        self._record_predictions(len(values), time.perf_counter() - start)
+        return clusters
 
     def predict_segments(self, segment_bits: np.ndarray) -> np.ndarray:
         """Cluster ids for full-width segment contents (no padding needed)."""
@@ -121,11 +158,29 @@ class EncoderPipeline:
     @property
     def mean_prediction_latency_us(self) -> float:
         """Average prediction latency in microseconds (Figure 10, right)."""
-        if not self.prediction_count:
+        with self._stats_lock:
+            count = self.prediction_count
+            seconds = self.prediction_seconds
+        if not count:
             return 0.0
-        return self.prediction_seconds / self.prediction_count * 1e6
+        return seconds / count * 1e6
+
+    def _record_predictions(self, count: int, seconds: float) -> None:
+        with self._stats_lock:
+            self.prediction_count += count
+            self.prediction_seconds += seconds
 
     def _to_bits(self, value: bytes | np.ndarray) -> np.ndarray:
         if isinstance(value, (bytes, bytearray, memoryview)):
             return bytes_to_bits(value)
         return np.asarray(value, dtype=np.float32).reshape(-1)
+
+    def _to_bits_many(
+        self, values: list[bytes | np.ndarray]
+    ) -> list[np.ndarray]:
+        """Bit-expand a batch; byte values share a single ``unpackbits``."""
+        if all(
+            isinstance(v, (bytes, bytearray, memoryview)) for v in values
+        ):
+            return bytes_to_bits_many(values)
+        return [self._to_bits(v) for v in values]

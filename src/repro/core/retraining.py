@@ -82,9 +82,9 @@ class RetrainPolicy:
     triggers: int = field(default=0, init=False)
     _writes_since_retrain: int = field(default=0, init=False)
 
-    def record_write(self) -> None:
-        """Count one write toward the cooldown window."""
-        self._writes_since_retrain += 1
+    def record_write(self, count: int = 1) -> None:
+        """Count ``count`` writes toward the cooldown window."""
+        self._writes_since_retrain += count
 
     def record_retrain(self) -> None:
         """Reset the cooldown after a retrain attempt (success or failure)."""

@@ -44,6 +44,11 @@ class Dense:
         self._out = self.activation.forward(pre)
         return self._out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless forward pass: no backprop caches are written, so
+        concurrent inference threads never race on layer state."""
+        return self.activation.forward(x @ self.W + self.b)
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backprop ``grad_out`` (B, out_dim); returns gradient w.r.t. input."""
         if self._x is None or self._out is None:

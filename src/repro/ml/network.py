@@ -41,6 +41,12 @@ class MLP:
             x = layer.forward(x)
         return x
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Stateless forward pass (no backprop caches); thread-safe."""
+        for layer in self.layers:
+            x = layer.infer(x)
+        return x
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backprop through every layer; returns gradient w.r.t. the input."""
         for layer in reversed(self.layers):

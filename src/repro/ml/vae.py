@@ -73,11 +73,16 @@ class VAE:
     # ---------------------------------------------------------------- forward
 
     def encode(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Return the posterior parameters (mu, logvar) for each row."""
+        """Return the posterior parameters (mu, logvar) for each row.
+
+        Uses the stateless inference path: no backprop caches are touched,
+        so the write path can encode concurrently with no shared state
+        (training runs its own explicit forward inside :meth:`train_batch`).
+        """
         X = self._as_batch(X)
-        h = self.trunk.forward(X)
-        mu = self.mu_head.forward(h)
-        logvar = np.clip(self.logvar_head.forward(h), -_LOGVAR_CLIP, _LOGVAR_CLIP)
+        h = self.trunk.infer(X)
+        mu = self.mu_head.infer(h)
+        logvar = np.clip(self.logvar_head.infer(h), -_LOGVAR_CLIP, _LOGVAR_CLIP)
         return mu, logvar
 
     def transform(self, X: np.ndarray) -> np.ndarray:
@@ -88,7 +93,7 @@ class VAE:
     def reconstruct(self, X: np.ndarray) -> np.ndarray:
         """Bit probabilities reconstructed through the posterior mean."""
         mu, _ = self.encode(X)
-        return self._sigmoid.forward(self.decoder.forward(mu))
+        return self._sigmoid.forward(self.decoder.infer(mu))
 
     # --------------------------------------------------------------- training
 
@@ -194,7 +199,7 @@ class VAE:
         for start in range(0, len(X), batch_size):
             x = X[start : start + batch_size]
             mu, logvar = self.encode(x)
-            probs = self._sigmoid.forward(self.decoder.forward(mu))
+            probs = self._sigmoid.forward(self.decoder.infer(mu))
             bce, _ = bernoulli_nll(x, probs)
             kl, _, _ = gaussian_kl(mu, logvar)
             total += (bce + self.kl_weight * kl) * len(x)

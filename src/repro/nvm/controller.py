@@ -72,6 +72,47 @@ class MemoryController:
         self.wear_leveling.after_write(self.device, segment)
         return result
 
+    def write_many(
+        self, logical_addrs, values
+    ) -> list[WriteResult]:
+        """Write one value per logical address, batched when possible.
+
+        Equal-length values landing in distinct segments (with no active
+        wear-leveling remapper, whose mid-batch remaps would be
+        order-dependent) take the vectorised read/prepare/program path;
+        anything else falls back to per-row :meth:`write` calls with
+        identical semantics.
+        """
+        rows = [self._as_u8(v) for v in values]
+        logical_addrs = [int(a) for a in logical_addrs]
+        if len(rows) != len(logical_addrs):
+            raise ValueError("logical_addrs length must match value count")
+        if not rows:
+            return []
+        length = rows[0].size
+        batched = (
+            len(rows) > 1
+            and isinstance(self.wear_leveling, NoWearLeveling)
+            and all(r.size == length for r in rows)
+        )
+        if batched:
+            phys = np.empty(len(rows), dtype=np.int64)
+            segments = np.empty(len(rows), dtype=np.int64)
+            for i, logical_addr in enumerate(logical_addrs):
+                phys[i], segments[i] = self._map(logical_addr, length)
+            batched = np.unique(segments).size == segments.size
+        if not batched:
+            return [
+                self.write(addr, row)
+                for addr, row in zip(logical_addrs, rows)
+            ]
+        old_rows = self.device.read_arrays(phys, length)
+        data = np.stack(rows)
+        stored, masks, aux = self.scheme.prepare_many(
+            logical_addrs, old_rows, data
+        )
+        return self.device.program_many(phys, stored, masks, aux)
+
     def read(self, logical_addr: int, length: int) -> bytes:
         """Read ``length`` logical bytes from ``logical_addr``."""
         phys_addr, _ = self._map(logical_addr, length)

@@ -26,7 +26,7 @@ import numpy as np
 from repro.nvm.energy import EnergyModel
 from repro.nvm.latency import LatencyModel
 from repro.nvm.stats import DeviceStats
-from repro.util.bits import POPCOUNT_TABLE
+from repro.util.bits import popcount_array, popcount_rows
 from repro.util.rng import rng_from_seed
 
 
@@ -135,6 +135,24 @@ class NVMDevice:
         self.stats.read_latency_ns += self.latency_model.read_latency(length)
         return self._content[addr : addr + length].copy()
 
+    def read_arrays(self, addrs, length: int) -> np.ndarray:
+        """Read ``length`` bytes at each address as a ``(B, length)`` array.
+
+        Accounting is identical to ``B`` individual :meth:`read_array`
+        calls; the gather itself is one fancy-indexed copy.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        for addr in addrs:
+            self._check_range(int(addr), length)
+        n = addrs.size
+        self.stats.reads += n
+        self.stats.bytes_read += n * length
+        self.stats.read_energy_pj += n * self.energy_model.read_energy(length)
+        self.stats.read_latency_ns += n * self.latency_model.read_latency(
+            length
+        )
+        return self._content[addrs[:, None] + np.arange(length)]
+
     def peek(self, addr: int, length: int) -> np.ndarray:
         """Inspect media content without accounting (for tooling/tests)."""
         self._check_range(addr, length)
@@ -192,8 +210,8 @@ class NVMDevice:
 
         old = self._content[addr : addr + length]
         flips_mask = np.bitwise_and(mask, np.bitwise_xor(old, new))
-        bits_programmed = int(POPCOUNT_TABLE[mask].sum())
-        bits_flipped = int(POPCOUNT_TABLE[flips_mask].sum())
+        bits_programmed = popcount_array(mask)
+        bits_flipped = popcount_array(flips_mask)
         dirty_lines = self._dirty_lines(addr, mask)
 
         self._apply_masked(addr, new, mask)
@@ -230,6 +248,134 @@ class NVMDevice:
             energy_pj=energy,
             latency_ns=latency,
         )
+
+    def program_many(
+        self,
+        addrs,
+        new: np.ndarray,
+        program_masks: np.ndarray | None = None,
+        aux_bits=0,
+    ) -> list[WriteResult]:
+        """Program a batch of equal-length, non-overlapping writes.
+
+        Semantically identical to calling :meth:`program` once per row (in
+        row order) — including the per-row ``"device.program"`` fault site,
+        so a mid-batch crash or torn write persists exactly the rows (and
+        row prefix) that a sequential loop would have — but the accounting
+        is one vectorised pass instead of ``B`` scalar ones.
+
+        Args:
+            addrs: one media address per row.
+            new: ``(B, L)`` bytes to store.
+            program_masks: ``(B, L)`` per-row masks; ``None`` pulses all.
+            aux_bits: scalar or length-``B`` per-row metadata cell counts.
+
+        Raises:
+            ValueError: when rows overlap (sequential writes to overlapping
+                ranges are order-dependent; callers must serialise those).
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        new = np.atleast_2d(np.asarray(new, dtype=np.uint8))
+        n_rows, length = new.shape
+        if addrs.size != n_rows:
+            raise ValueError("addrs length must match data row count")
+        if n_rows == 0:
+            return []
+        for addr in addrs:
+            self._check_range(int(addr), length)
+        if n_rows > 1:
+            ordered = np.sort(addrs)
+            if int(np.min(ordered[1:] - ordered[:-1])) < length:
+                raise ValueError("program_many rows must not overlap")
+        if program_masks is None:
+            masks = np.full((n_rows, length), 0xFF, dtype=np.uint8)
+        else:
+            masks = np.atleast_2d(np.asarray(program_masks, dtype=np.uint8))
+            if masks.shape != new.shape:
+                raise ValueError("program_mask shape must match data shape")
+        aux = np.broadcast_to(
+            np.asarray(aux_bits, dtype=np.int64), (n_rows,)
+        )
+
+        idx = addrs[:, None] + np.arange(length)
+        old = self._content[idx].copy()
+
+        if self.faults is not None:
+            # Fire the fault site and persist row by row, in row order, so
+            # crash points land between rows exactly as in a scalar loop.
+            for i in range(n_rows):
+                self.faults.fire(
+                    "device.program",
+                    payload_len=length,
+                    payload_writer=lambda n, i=i: self._apply_masked(
+                        int(addrs[i]), new[i, :n], masks[i, :n]
+                    ),
+                )
+                self._apply_masked(int(addrs[i]), new[i], masks[i])
+        else:
+            self._content[idx] = np.bitwise_or(
+                np.bitwise_and(old, np.bitwise_not(masks)),
+                np.bitwise_and(new, masks),
+            )
+
+        flips_masks = np.bitwise_and(masks, np.bitwise_xor(old, new))
+        bits_programmed = popcount_rows(masks)
+        bits_flipped = popcount_rows(flips_masks)
+
+        line = self.energy_model.cache_line_bytes
+        if length % line == 0 and not np.any(addrs % line):
+            per_line = masks.reshape(n_rows, length // line, line)
+            dirty_lines = np.count_nonzero(
+                per_line.any(axis=2), axis=1
+            ).astype(np.int64)
+        else:
+            dirty_lines = np.array(
+                [
+                    self._dirty_lines(int(addrs[i]), masks[i])
+                    for i in range(n_rows)
+                ],
+                dtype=np.int64,
+            )
+
+        energy = self.energy_model.write_energy_many(
+            length, bits_programmed, dirty_lines, aux
+        )
+        latency = self.latency_model.write_latency_many(
+            length, bits_programmed + aux, dirty_lines
+        )
+
+        self.stats.writes += n_rows
+        self.stats.bytes_written += n_rows * length
+        self.stats.bits_programmed += int(bits_programmed.sum())
+        self.stats.bits_flipped += int(bits_flipped.sum())
+        self.stats.aux_bits_programmed += int(aux.sum())
+        self.stats.dirty_lines_written += int(dirty_lines.sum())
+        self.stats.write_energy_pj += float(energy.sum())
+        self.stats.write_latency_ns += float(latency.sum())
+
+        first_seg = addrs // self.segment_size
+        last_seg = (addrs + length - 1) // self.segment_size
+        if np.array_equal(first_seg, last_seg):
+            np.add.at(self.segment_write_count, first_seg, 1)
+        else:
+            for lo, hi in zip(first_seg, last_seg):
+                self.segment_write_count[lo : hi + 1] += 1
+
+        if self._bit_wear is not None:
+            rows, cols = np.nonzero(np.unpackbits(masks, axis=1))
+            np.add.at(self._bit_wear, addrs[rows] * 8 + cols, 1)
+
+        return [
+            WriteResult(
+                bits_programmed=int(bits_programmed[i]),
+                bits_flipped=int(bits_flipped[i]),
+                dirty_lines=int(dirty_lines[i]),
+                aux_bits=int(aux[i]),
+                energy_pj=float(energy[i]),
+                latency_ns=float(latency[i]),
+            )
+            for i in range(n_rows)
+        ]
 
     # ------------------------------------------------------------------ wear
 

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class EnergyModel:
@@ -67,6 +69,24 @@ class EnergyModel:
             self.static_write_energy_pj
             + n_dirty_lines * self.line_energy_pj
             + (n_programmed_bits + n_aux_bits) * self.flip_energy_pj
+        )
+
+    def write_energy_many(
+        self,
+        n_bytes: int,
+        n_programmed_bits,
+        n_dirty_lines,
+        n_aux_bits=0,
+    ):
+        """Vectorised :meth:`write_energy`: per-write activity arrays in,
+        per-write energy array out (same-size writes only)."""
+        if n_bytes <= 0:
+            raise ValueError("write size must be positive")
+        return (
+            self.static_write_energy_pj
+            + np.asarray(n_dirty_lines) * self.line_energy_pj
+            + (np.asarray(n_programmed_bits) + np.asarray(n_aux_bits))
+            * self.flip_energy_pj
         )
 
     def read_energy(self, n_bytes: int) -> float:

@@ -5,13 +5,16 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+import repro.util.bits as bits_module
 from repro.util.bits import (
     POPCOUNT_TABLE,
     bits_to_bytes,
     bytes_to_bits,
+    bytes_to_bits_many,
     hamming_bytes,
     hamming_distance,
     popcount_array,
+    popcount_rows,
 )
 
 
@@ -28,6 +31,52 @@ class TestPopcount:
 
     def test_popcount_array_known(self):
         assert popcount_array(np.array([0b1010, 0b1], dtype=np.uint8)) == 3
+
+
+class TestPopcountPaths:
+    """The ``np.bitwise_count`` fast path and the table fallback must agree."""
+
+    def test_paths_agree_on_random_arrays(self, monkeypatch):
+        rng = np.random.default_rng(0)
+        for size in (0, 1, 7, 64, 1000):
+            arr = rng.integers(0, 256, size=size, dtype=np.uint8)
+            fast = popcount_array(arr)
+            with monkeypatch.context() as m:
+                m.setattr(bits_module, "HAVE_BITWISE_COUNT", False)
+                slow = popcount_array(arr)
+            expected = sum(bin(v).count("1") for v in arr.tolist())
+            assert fast == slow == expected
+
+    def test_rows_paths_agree_on_random_matrices(self, monkeypatch):
+        rng = np.random.default_rng(1)
+        matrix = rng.integers(0, 256, size=(13, 37), dtype=np.uint8)
+        fast = popcount_rows(matrix)
+        with monkeypatch.context() as m:
+            m.setattr(bits_module, "HAVE_BITWISE_COUNT", False)
+            slow = popcount_rows(matrix)
+        expected = [popcount_array(row) for row in matrix]
+        assert fast.tolist() == slow.tolist() == expected
+
+    def test_popcount_rows_single_row(self):
+        row = np.array([0b1010, 0xFF], dtype=np.uint8)
+        assert popcount_rows(row).tolist() == [10]
+
+
+class TestBytesToBitsMany:
+    def test_matches_single_conversion_mixed_lengths(self):
+        rng = np.random.default_rng(2)
+        values = [
+            rng.integers(0, 256, size=int(n), dtype=np.uint8).tobytes()
+            for n in rng.integers(1, 40, size=9)
+        ]
+        many = bytes_to_bits_many(values)
+        assert len(many) == len(values)
+        for value, row in zip(values, many):
+            assert row.dtype == np.float32
+            np.testing.assert_array_equal(row, bytes_to_bits(value))
+
+    def test_empty_batch(self):
+        assert bytes_to_bits_many([]) == []
 
 
 class TestHamming:
