@@ -1,0 +1,234 @@
+"""Device lifetime under endurance exhaustion: E2-NVM vs arbitrary placement.
+
+Two byte-identical mortal devices (same lognormal per-cell endurance
+budgets, same seed, same ECP capacity, verify-after-write on) serve the
+same clustered write stream until every data segment is retired and
+placement fails — the point a KV store on top would degrade to read-only:
+
+- **naive** — arbitrary FIFO placement (prior systems' behaviour, §1) over
+  the DCW controller: content-oblivious, so most writes land on a
+  dissimilar segment and pulse many cells;
+- **e2nvm** — the trained VAE+K-means engine: similarity placement pulses
+  fewer cells per write, so the same endurance budget absorbs strictly
+  more writes before the pool dies.
+
+The benchmark records writes-to-death for both, the usable-capacity
+timeline from the health manager's telemetry, and their ratio (the
+lifetime gain).  Results land in ``BENCH_lifetime.json`` at the repo
+root.  ``--quick`` shrinks the device and budgets for CI smoke runs;
+``--check`` additionally exits non-zero unless E2-NVM's lifetime strictly
+exceeds the naive one (the endurance acceptance criterion) instead of
+overwriting the JSON.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+
+from common import (
+    REPO_ROOT,
+    bench_arg_parser,
+    bench_config,
+    emit_json,
+    print_table,
+    values_from_bits,
+)
+
+from repro.core import E2NVM, PoolExhaustedError
+from repro.nvm import (
+    MemoryController,
+    NVMDevice,
+    SegmentRetiredError,
+    WearOutConfig,
+)
+from repro.workloads.datasets import make_image_dataset
+
+SEGMENT = 64
+K = 6
+JSON_PATH = REPO_ROOT / "BENCH_lifetime.json"
+MAX_STREAM = 60_000
+
+
+def _sizes(quick: bool) -> tuple[int, WearOutConfig, int]:
+    """(n_segments, wear-out config, telemetry sample period)."""
+    if quick:
+        return 48, WearOutConfig(
+            endurance_mean=6, endurance_sigma=0.25, seed=5, ecp_entries=8
+        ), 25
+    return 96, WearOutConfig(
+        endurance_mean=12, endurance_sigma=0.25, seed=5, ecp_entries=8
+    ), 200
+
+
+def _make_stream(n_segments: int, seed: int = 0) -> tuple[list, list]:
+    bits, _ = make_image_dataset(
+        n_segments + MAX_STREAM, SEGMENT * 8, n_classes=K, noise=0.06,
+        seed=seed,
+    )
+    values = values_from_bits(bits)
+    return values[:n_segments], values[n_segments:]
+
+
+def _fresh(n_segments: int, wearout: WearOutConfig, seed_values: list):
+    device = NVMDevice(
+        capacity_bytes=n_segments * SEGMENT,
+        segment_size=SEGMENT,
+        initial_fill="random",
+        seed=1,
+        wearout=wearout,
+    )
+    controller = MemoryController(device)
+    for i, value in enumerate(seed_values):
+        controller.write(i * SEGMENT, value)
+    device.reset_stats()
+    return controller, device
+
+
+def _sample(timeline: list, writes: int, controller) -> None:
+    telemetry = controller.health_manager.telemetry()
+    timeline.append(
+        {
+            "writes": writes,
+            "usable_capacity_fraction": round(
+                telemetry["usable_capacity_fraction"], 4
+            ),
+            "segments_retired": telemetry["segments_retired"],
+            "stuck_cells": telemetry["stuck_cells"],
+            "corrections_active": telemetry["corrections_active"],
+        }
+    )
+
+
+def _finish(writes: int, timeline: list, controller) -> dict:
+    _sample(timeline, writes, controller)
+    return {
+        "writes_to_death": writes,
+        "timeline": timeline,
+        "final_telemetry": controller.health_manager.telemetry(),
+    }
+
+
+def run_naive(
+    n_segments: int, wearout: WearOutConfig, seed_values, stream, every: int
+) -> dict:
+    controller, _ = _fresh(n_segments, wearout, seed_values)
+    free = deque(i * SEGMENT for i in range(n_segments))
+    timeline: list[dict] = []
+    writes = 0
+    for value in stream:
+        while True:
+            if not free:
+                return _finish(writes, timeline, controller)
+            addr = free.popleft()
+            try:
+                controller.write(addr, value)
+            except SegmentRetiredError:
+                continue  # dead segment: drop it, try the next
+            break
+        free.append(addr)
+        writes += 1
+        if writes % every == 0:
+            _sample(timeline, writes, controller)
+    raise RuntimeError(
+        "naive run outlived the stream; raise MAX_STREAM or lower budgets"
+    )
+
+
+def run_e2nvm(
+    n_segments: int, wearout: WearOutConfig, seed_values, stream, every: int
+) -> dict:
+    controller, _ = _fresh(n_segments, wearout, seed_values)
+    engine = E2NVM(controller, bench_config(n_clusters=K, seed=0))
+    engine.train()
+    timeline: list[dict] = []
+    writes = 0
+    for value in stream:
+        try:
+            addr, _ = engine.write(value)
+        except PoolExhaustedError:
+            return _finish(writes, timeline, controller)
+        engine.release(addr)
+        writes += 1
+        if writes % every == 0:
+            _sample(timeline, writes, controller)
+    raise RuntimeError(
+        "e2nvm run outlived the stream; raise MAX_STREAM or lower budgets"
+    )
+
+
+def run_lifetime(quick: bool = False) -> dict:
+    n_segments, wearout, every = _sizes(quick)
+    seed_values, stream = _make_stream(n_segments)
+    naive = run_naive(n_segments, wearout, seed_values, stream, every)
+    e2nvm = run_e2nvm(n_segments, wearout, seed_values, stream, every)
+    return {
+        "quick": quick,
+        "segment_size": SEGMENT,
+        "n_segments": n_segments,
+        "wearout": {
+            "endurance_mean": wearout.endurance_mean,
+            "endurance_sigma": wearout.endurance_sigma,
+            "seed": wearout.seed,
+            "ecp_entries": wearout.ecp_entries,
+        },
+        "naive": naive,
+        "e2nvm": e2nvm,
+        "lifetime_gain_x": round(
+            e2nvm["writes_to_death"] / max(1, naive["writes_to_death"]), 2
+        ),
+    }
+
+
+def report(result: dict) -> None:
+    rows = [
+        [
+            name,
+            result[name]["writes_to_death"],
+            result[name]["final_telemetry"]["segments_retired"],
+            result[name]["final_telemetry"]["stuck_cells"],
+        ]
+        for name in ("naive", "e2nvm")
+    ]
+    print_table(
+        "Writes absorbed before the pool dies (same endurance budgets)",
+        ["placement", "writes", "segments retired", "stuck cells"],
+        rows,
+    )
+    print(f"lifetime gain: {result['lifetime_gain_x']}x")
+
+
+def check_lifetime(result: dict) -> int:
+    """0 when E2-NVM strictly outlives naive placement, 1 otherwise."""
+    naive, e2nvm = (
+        result["naive"]["writes_to_death"],
+        result["e2nvm"]["writes_to_death"],
+    )
+    if e2nvm <= naive:
+        print(
+            f"FAIL: e2nvm died after {e2nvm} writes, naive after {naive} — "
+            "memory-aware placement must strictly extend lifetime"
+        )
+        return 1
+    print(f"[lifetime check OK: e2nvm {e2nvm} > naive {naive} writes]")
+    return 0
+
+
+def main() -> None:
+    parser = bench_arg_parser(__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless the E2-NVM lifetime strictly exceeds naive "
+        "placement (does not overwrite the committed JSON)",
+    )
+    args = parser.parse_args()
+    result = run_lifetime(quick=args.quick)
+    report(result)
+    if args.check:
+        sys.exit(check_lifetime(result))
+    emit_json(JSON_PATH, result)
+
+
+if __name__ == "__main__":
+    main()

@@ -10,11 +10,11 @@
 - :mod:`repro.core.kvstore` — the persistent key/value store of Figure 3.
 """
 
-from repro.core.address_pool import DynamicAddressPool
+from repro.core.address_pool import DynamicAddressPool, PoolExhaustedError
 from repro.core.batching import BatchLocator, WriteBatcher
 from repro.core.config import E2NVMConfig
 from repro.core.e2nvm import E2NVM
-from repro.core.kvstore import KVStore
+from repro.core.kvstore import KVStore, StoreReadOnlyError
 from repro.core.padding import Padder, PaddingPosition, PaddingStrategy
 from repro.core.pipeline import EncoderPipeline
 from repro.core.retraining import RetrainDecision, RetrainPolicy, RetrainStats
@@ -24,6 +24,8 @@ __all__ = [
     "E2NVMConfig",
     "KVStore",
     "DynamicAddressPool",
+    "PoolExhaustedError",
+    "StoreReadOnlyError",
     "EncoderPipeline",
     "Padder",
     "PaddingStrategy",

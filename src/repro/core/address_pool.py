@@ -16,8 +16,19 @@ from collections import deque
 import numpy as np
 
 
+class PoolExhaustedError(RuntimeError):
+    """Every cluster's free list is empty (and no fallback exists)."""
+
+
 class DynamicAddressPool:
-    """Per-cluster FIFO free lists of segment addresses."""
+    """Per-cluster FIFO free lists of segment addresses.
+
+    Addresses can additionally be *quarantined* (retired or retiring
+    segments, reserved spares): a quarantined address is removed from its
+    free list, refused by :meth:`add`, and survives the pool rebuilds a
+    retrain or recovery performs — callers carry the set across with
+    :meth:`adopt_quarantine`.
+    """
 
     #: DRAM bytes per pool entry (an 8-byte address plus list overhead),
     #: used for the Figure 7 footprint accounting.
@@ -32,6 +43,7 @@ class DynamicAddressPool:
         self._pools: dict[int, deque[int]] = {
             c: deque() for c in range(n_clusters)
         }
+        self._quarantined: set[int] = set()
         self._lock = threading.Lock()
         # Nearest-neighbour fallback cache: per-cluster centroid-distance
         # order, memoised on the centroids array identity.  A model swap
@@ -40,10 +52,20 @@ class DynamicAddressPool:
         self._neighbor_order: np.ndarray | None = None
 
     def populate(self, labels, addresses) -> None:
-        """Bulk-load (cluster, address) pairs during initialisation."""
+        """Bulk-load (cluster, address) pairs during initialisation.
+
+        Raises:
+            ValueError: when an address is quarantined (retired segments
+                must never re-enter the free lists).
+        """
         with self._lock:
             for label, addr in zip(labels, addresses):
-                self._pools[int(label)].append(int(addr))
+                addr = int(addr)
+                if addr in self._quarantined:
+                    raise ValueError(
+                        f"address {addr} is quarantined and cannot be pooled"
+                    )
+                self._pools[int(label)].append(addr)
 
     def get(self, cluster: int, centroids: np.ndarray | None = None) -> int:
         """Pop the first free address of ``cluster``.
@@ -61,7 +83,9 @@ class DynamicAddressPool:
                 return pool.popleft()
             fallback = self._fallback_cluster(cluster, centroids)
             if fallback is None:
-                raise RuntimeError("dynamic address pool is exhausted")
+                raise PoolExhaustedError(
+                    "dynamic address pool is exhausted"
+                )
             return self._pools[fallback].popleft()
 
     def get_many(
@@ -86,7 +110,7 @@ class DynamicAddressPool:
                     if fallback is None:
                         for source, addr in reversed(popped):
                             self._pools[source].appendleft(addr)
-                        raise RuntimeError(
+                        raise PoolExhaustedError(
                             "dynamic address pool is exhausted"
                         )
                     cluster = fallback
@@ -97,11 +121,58 @@ class DynamicAddressPool:
             return out
 
     def add(self, cluster: int, addr: int) -> None:
-        """Recycle ``addr`` into ``cluster`` (the DELETE path)."""
+        """Recycle ``addr`` into ``cluster`` (the DELETE path).
+
+        Raises:
+            ValueError: when ``addr`` is quarantined — retired segments
+                must be recycled through :meth:`quarantine`-aware callers.
+        """
         if not 0 <= cluster < self.n_clusters:
             raise KeyError(f"cluster {cluster} out of range")
         with self._lock:
+            if int(addr) in self._quarantined:
+                raise ValueError(
+                    f"address {addr} is quarantined and cannot be pooled"
+                )
             self._pools[cluster].append(int(addr))
+
+    # ------------------------------------------------------------ quarantine
+
+    def quarantine(self, addr: int) -> None:
+        """Bar ``addr`` from placement: drop it from any free list and
+        refuse future :meth:`add`/:meth:`populate` calls for it.
+
+        Used for retired/retiring segments and reserved spares.  Idempotent;
+        composes with batch claims (a quarantined address simply is not in
+        any pool) and with the nearest-cluster fallback.
+        """
+        addr = int(addr)
+        with self._lock:
+            self._quarantined.add(addr)
+            for pool in self._pools.values():
+                try:
+                    pool.remove(addr)
+                    break
+                except ValueError:
+                    continue
+
+    def unquarantine(self, addr: int) -> None:
+        """Lift the bar on ``addr`` (spare activation).  The caller re-pools
+        it explicitly (e.g. ``E2NVM.add_addresses``); this only re-permits
+        :meth:`add`/:meth:`populate`."""
+        with self._lock:
+            self._quarantined.discard(int(addr))
+
+    def quarantined(self) -> set[int]:
+        """Snapshot of every quarantined address."""
+        with self._lock:
+            return set(self._quarantined)
+
+    def adopt_quarantine(self, addrs) -> None:
+        """Carry a quarantine set into this (fresh) pool — retrains and
+        recovery rebuild the DAP wholesale and must not lose it."""
+        with self._lock:
+            self._quarantined.update(int(a) for a in addrs)
 
     def drain(self) -> list[int]:
         """Remove and return every free address (used before a retrain)."""

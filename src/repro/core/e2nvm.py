@@ -35,12 +35,13 @@ import time
 
 import numpy as np
 
-from repro.core.address_pool import DynamicAddressPool
+from repro.core.address_pool import DynamicAddressPool, PoolExhaustedError
 from repro.core.config import E2NVMConfig
 from repro.core.pipeline import EncoderPipeline
 from repro.core.retraining import RetrainDecision, RetrainPolicy, RetrainStats
 from repro.nvm.controller import MemoryController
 from repro.nvm.device import WriteResult
+from repro.nvm.health import SegmentRetiredError
 from repro.util.rng import rng_from_seed
 
 
@@ -108,12 +109,22 @@ class E2NVM:
 
     # ------------------------------------------------------------- training
 
+    @property
+    def health(self):
+        """The controller's health manager (``None`` without wear-out)."""
+        return getattr(self.controller, "health_manager", None)
+
     def free_addresses(self) -> list[int]:
-        """Addresses of all placeable segments not currently allocated."""
+        """Addresses of all placeable segments not currently allocated
+        (quarantined segments — retired, retiring or reserved spares —
+        are not placeable)."""
+        quarantined = self.dap.quarantined()
         return [
-            self.controller.segment_address(i)
+            addr
             for i in range(self.reserved_segments, self.controller.n_segments)
-            if self.controller.segment_address(i) not in self._allocated
+            if (addr := self.controller.segment_address(i))
+            not in self._allocated
+            and addr not in quarantined
         ]
 
     def train(
@@ -193,7 +204,10 @@ class E2NVM:
                 f"pipeline width {pipeline.input_bits} does not match the "
                 f"device's {self.input_bits} bits per segment"
             )
-        free_addresses = list(free_addresses)
+        quarantined = self.dap.quarantined()
+        free_addresses = [
+            a for a in free_addresses if a not in quarantined
+        ]
         for addr in free_addresses:
             self._check_segment_address(addr)
             if addr in self._allocated:
@@ -203,6 +217,7 @@ class E2NVM:
             bits = self._segment_bits(free_addresses)
         with self._swap_lock:
             new_dap = DynamicAddressPool(self.config.n_clusters)
+            new_dap.adopt_quarantine(quarantined)
             if free_addresses:
                 new_dap.populate(
                     pipeline.predict_segments(bits), free_addresses
@@ -343,23 +358,45 @@ class E2NVM:
         into the DAP) before propagating.  The ``auto_retrain`` hook never
         raises: retrain trouble is deferred and recorded, not propagated
         into the PUT.
+
+        A :class:`SegmentRetiredError` — verify-after-write exhausted the
+        segment's ECP capacity — is handled *inside* the engine: the dead
+        address is quarantined, a reserved spare (when available) joins
+        the pool in its place, and the write retries at a fresh placement.
+        Only pool exhaustion escapes.
         """
         if len(value) > self.segment_size:
             raise ValueError(
                 f"value of {len(value)} bytes exceeds segment size "
                 f"{self.segment_size}"
             )
-        addr = self.place(value)
-        try:
-            if self.faults is not None:
-                self.faults.fire("device.write")
-            result = self.controller.write(addr, value)
-        except BaseException:
-            self.failed_writes += 1
-            self.release(addr)
-            raise
-        self.record_committed_write()
-        return addr, result
+        for _ in range(self.controller.n_segments + 1):
+            try:
+                addr = self.place(value)
+            except PoolExhaustedError:
+                # Free capacity ran dry: pull in a reserved spare before
+                # giving up.
+                if self.adopt_spare() is None:
+                    raise
+                continue
+            try:
+                if self.faults is not None:
+                    self.faults.fire("device.write")
+                result = self.controller.write(addr, value)
+            except SegmentRetiredError:
+                self.failed_writes += 1
+                self.quarantine_address(addr)
+                self.adopt_spare()
+                continue
+            except BaseException:
+                self.failed_writes += 1
+                self.release(addr)
+                raise
+            self.record_committed_write()
+            return addr, result
+        raise PoolExhaustedError(
+            "write retries exhausted: every placement candidate retired"
+        )
 
     def write_many(
         self, values: list[bytes]
@@ -371,6 +408,11 @@ class E2NVM:
         write itself is all-or-nothing for ordinary errors — a failure
         un-claims every address of the batch (re-clustered back into the
         DAP) before propagating, so nothing is half-committed.
+
+        With verify-after-write enabled each value goes through
+        :meth:`write` individually: a mid-batch segment retirement must
+        retry *that one value* on a fresh placement, which all-or-nothing
+        batch semantics cannot express.
         """
         values = list(values)
         for value in values:
@@ -381,6 +423,8 @@ class E2NVM:
                 )
         if not values:
             return []
+        if self.controller.verify_writes:
+            return [self.write(value) for value in values]
         addrs = self.place_many(values)
         try:
             if self.faults is not None:
@@ -432,6 +476,10 @@ class E2NVM:
         lock and is retried if a model swap lands mid-flight (the recycled
         addresses must be labelled by the *installed* model, or they would
         pollute the freshly relabelled pool).
+
+        A freed address whose segment has been retired (or is retiring)
+        is quarantined instead of re-pooled — its media is dead (or
+        dying) and must never be handed out again.
         """
         self._require_trained()
         addrs = list(addrs)
@@ -441,6 +489,7 @@ class E2NVM:
         if not addrs:
             return
         bits = self._segment_bits(addrs)
+        health = self.health
         while True:
             pipeline = self.pipeline
             epoch = self._model_epoch
@@ -450,7 +499,12 @@ class E2NVM:
                     continue  # model swapped mid-encode: re-label
                 for addr, cluster in zip(addrs, clusters):
                     self._allocated.discard(addr)
-                    self.dap.add(int(cluster), addr)
+                    if health is not None and health.is_unplaceable(
+                        addr // self.segment_size
+                    ):
+                        self.dap.quarantine(addr)
+                    else:
+                        self.dap.add(int(cluster), addr)
                 return
 
     def maybe_retrain(self) -> bool:
@@ -480,6 +534,60 @@ class E2NVM:
             self._defer_retrain()
             return False
         return self._schedule_retrain()
+
+    # ------------------------------------------------------ endurance health
+
+    def quarantine_address(self, addr: int) -> None:
+        """Take ``addr`` out of circulation permanently (retired media):
+        un-claim it if allocated and bar the DAP from ever re-pooling it."""
+        self._check_segment_address(addr)
+        with self._swap_lock:
+            self._allocated.discard(addr)
+            self.dap.quarantine(addr)
+
+    def adopt_spare(self) -> int | None:
+        """Activate one reserved spare segment, if any: lift its
+        quarantine and index it into the DAP.  Returns the activated
+        address, or ``None`` when no spares (or no health manager) remain.
+        """
+        health = self.health
+        if health is None:
+            return None
+        spare = health.take_spare()
+        if spare is None:
+            return None
+        self.dap.unquarantine(spare)
+        self.add_addresses([spare])
+        return spare
+
+    def reserve_spares(self, count: int) -> list[int]:
+        """Withhold ``count`` free segments from placement as spare
+        capacity; each later segment retirement activates one via
+        :meth:`adopt_spare`, keeping usable capacity constant until the
+        spares run out.
+
+        The highest free addresses are chosen (deterministic, and the
+        segments the incremental-indexing path would add last).
+        """
+        self._require_trained()
+        health = self.health
+        if health is None:
+            raise RuntimeError(
+                "reserve_spares needs verify-after-write enabled"
+            )
+        if count <= 0:
+            return []
+        with self._swap_lock:
+            free = sorted(self.dap.snapshot_addresses(), reverse=True)[:count]
+            if len(free) < count:
+                raise RuntimeError(
+                    "not enough free segments to reserve as spares"
+                )
+            for addr in free:
+                self.dap.quarantine(addr)
+        spares = sorted(free)
+        health.add_spares(spares)
+        return spares
 
     # ------------------------------------------------------------ inspection
 
@@ -615,13 +723,15 @@ class E2NVM:
         """
         with self._swap_lock:
             saved = self.dap.snapshot()
+            quarantined = self.dap.quarantined()
             free_now = self.dap.drain()
             if addresses is not None:
-                free_now = list(addresses)
+                free_now = [a for a in addresses if a not in quarantined]
             try:
                 if self.faults is not None:
                     self.faults.fire("train.relabel")
                 new_dap = DynamicAddressPool(self.config.n_clusters)
+                new_dap.adopt_quarantine(quarantined)
                 if free_now:
                     labels = pipeline.predict_segments(
                         self._segment_bits(free_now)

@@ -31,12 +31,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.address_pool import PoolExhaustedError
 from repro.core.config import E2NVMConfig
 from repro.core.e2nvm import E2NVM
 from repro.index.rbtree import RedBlackTree
+from repro.nvm.health import SegmentRetiredError
 from repro.pmem.catalog import DEFAULT_KEY_CAPACITY, PersistentCatalog
 from repro.pmem.pool import PersistentPool
 from repro.testing.faults import CrashError
+
+
+class StoreReadOnlyError(RuntimeError):
+    """Wear-out exhausted every placement option (free capacity and
+    reserved spares alike): the store now serves reads only.  Every value
+    written before the transition stays readable — retirement never loses
+    committed data — but PUT/DELETE raise this error from here on."""
 
 
 @dataclass(frozen=True)
@@ -82,7 +91,14 @@ class KVStore:
         # catalog's persisted flag bits; in volatile mode (no segment
         # headers) it is the only copy.
         self._valid: dict[int, bool] = {}
+        # Reverse map address → key for live values, used by wear-out
+        # relocation to find which key a retiring segment belongs to.
+        self._by_addr: dict[int, bytes] = {}
         self._next_epoch = 1
+        # Degraded mode: set when wear-out retirement exhausts the last
+        # placement option; see :class:`StoreReadOnlyError`.
+        self._read_only = False
+        self._relocating = False
         self.recovery: RecoveryReport | None = None
 
     # ------------------------------------------------------- durable set-up
@@ -176,10 +192,27 @@ class KVStore:
             for entry in live.values()
         }
         taken = set(live_addrs.values())
+
+        # Wear-out state lives on the device object (simulated media
+        # metadata): retired/retiring segments and reserved spares survive
+        # the crash and must be excluded from the rebuilt free pool.
+        health_state = pool.controller.device.health
+        unplaceable: set[int] = set()
+        spare_addrs: set[int] = set()
+        if health_state is not None:
+            seg_size = pool.segment_size
+            unplaceable = {
+                s * seg_size
+                for s in health_state.retired | health_state.retiring
+            }
+            spare_addrs = set(health_state.spares)
+
         free_addrs = [
             pool.object_address(i)
             for i in range(pool.capacity_objects)
             if pool.object_address(i) not in taken
+            and pool.object_address(i) not in unplaceable
+            and pool.object_address(i) not in spare_addrs
         ]
 
         engine = E2NVM(
@@ -200,7 +233,23 @@ class KVStore:
             pool.mark_allocated(addr)
             store.index.put(key, (addr, entry.value_len))
             store._valid[addr] = True
+            store._by_addr[addr] = key
         store._next_epoch = max_epoch + 1
+
+        if health_state is not None:
+            # Quarantine every dead/dying/spare address in the rebuilt
+            # DAP, mirror dead free segments in the pool allocator, and
+            # re-queue retiring segments that still hold live data so the
+            # next PUT resumes their evacuation.
+            engine.dap.adopt_quarantine(unplaceable | spare_addrs)
+            seg_size = pool.segment_size
+            for addr in sorted(unplaceable - taken):
+                pool.retire(addr)
+            health = engine.health
+            if health is not None:
+                for seg in sorted(health_state.retiring):
+                    if seg * seg_size in taken:
+                        health.queue_relocation(seg)
         store.recovery = RecoveryReport(
             rolled_back_records=rolled_back,
             live_objects=len(live),
@@ -242,9 +291,28 @@ class KVStore:
             raise TypeError("keys must be bytes")
         if not isinstance(value, bytes) or not value:
             raise TypeError("values must be non-empty bytes")
+        self._check_writable()
+        # Drain pending evacuations *before* this PUT's own write: every
+        # relocation is content-neutral (same key, same value, new home),
+        # so a crash anywhere inside one never changes observable store
+        # contents — whereas relocating after the commit would open a
+        # window where this PUT is committed but not yet acknowledged.
+        self._maybe_relocate()
         if self.pool is None:
             return self._put_volatile(key, value)
         return self._put_durable(key, value)
+
+    @property
+    def read_only(self) -> bool:
+        """Whether wear-out has degraded the store to read-only."""
+        return self._read_only
+
+    def _check_writable(self) -> None:
+        if self._read_only:
+            raise StoreReadOnlyError(
+                "wear-out exhausted free capacity and spares; the store "
+                "is read-only"
+            )
 
     def put_many(self, items: list[tuple[bytes, bytes]]) -> list[int]:
         """Insert or update a batch of pairs; returns one address per item.
@@ -265,33 +333,45 @@ class KVStore:
                 raise TypeError("values must be non-empty bytes")
         if not items:
             return []
+        self._check_writable()
+        self._maybe_relocate()
         if self.pool is None:
             return self._put_many_volatile(items)
         return self._put_many_durable(items)
 
     def _put_volatile(self, key: bytes, value: bytes) -> int:
         old = self.index.get(key)
-        addr, _ = self.engine.write(value)
+        try:
+            addr, _ = self.engine.write(value)
+        except PoolExhaustedError as exc:
+            self._enter_read_only(exc)
         self._valid[addr] = True
+        self._by_addr[addr] = key
         self.index.put(key, (addr, len(value)))
         if old is not None:
             # UPDATE: the previous location is recycled (Algorithm 2's path).
             old_addr, _ = old
             self._valid[old_addr] = False
-            self.engine.release(old_addr)
+            self._by_addr.pop(old_addr, None)
+            self._recycle_addr(old_addr)
         return addr
 
     def _put_many_volatile(self, items: list[tuple[bytes, bytes]]) -> list[int]:
-        results = self.engine.write_many([value for _, value in items])
+        try:
+            results = self.engine.write_many([value for _, value in items])
+        except PoolExhaustedError as exc:
+            self._enter_read_only(exc)
         addrs: list[int] = []
         stale: list[int] = []
         for (key, value), (addr, _) in zip(items, results):
             old = self.index.get(key)
             self._valid[addr] = True
+            self._by_addr[addr] = key
             self.index.put(key, (addr, len(value)))
             if old is not None:
                 old_addr, _ = old
                 self._valid[old_addr] = False
+                self._by_addr.pop(old_addr, None)
                 stale.append(old_addr)
             addrs.append(addr)
         if stale:
@@ -304,16 +384,48 @@ class KVStore:
         record and (on UPDATE) the old record's flag reset commit or roll
         back as one undo-log transaction.  The PUT is acknowledged only
         after commit; a crash at any earlier point leaves the previous
-        store state recoverable."""
+        store state recoverable.
+
+        With wear-out enabled, a placement whose verify-after-write
+        retires the segment mid-transaction is retried on a fresh
+        placement (activating a reserved spare when one is left); only
+        exhaustion of every option degrades the store to read-only.
+        """
         self._check_durable_key(key)
-        addr = self.engine.place(value)
-        self._commit_durable(key, value, addr)
-        self.engine.record_committed_write()
-        return addr
+        for _ in range(self.engine.controller.n_segments + 1):
+            try:
+                addr = self.engine.place(value)
+            except PoolExhaustedError as exc:
+                # Free capacity ran dry: a remaining reserved spare can
+                # still save the PUT; only true exhaustion degrades.
+                if self.engine.adopt_spare() is not None:
+                    continue
+                self._enter_read_only(exc)
+            try:
+                self._commit_durable(key, value, addr)
+            except SegmentRetiredError:
+                # ``_commit_durable`` already un-claimed (and the engine
+                # quarantined) the dead address; mirror the retirement in
+                # the pool's allocator, pull in a spare and re-place.
+                self.pool.retire(addr)
+                self.engine.adopt_spare()
+                continue
+            self.engine.record_committed_write()
+            return addr
+        raise PoolExhaustedError(
+            "durable PUT retries exhausted: every placement candidate "
+            "retired"
+        )
 
     def _put_many_durable(self, items: list[tuple[bytes, bytes]]) -> list[int]:
         for key, _ in items:
             self._check_durable_key(key)
+        if self.engine.controller.verify_writes:
+            # Per-pair PUTs: a mid-batch segment retirement must retry
+            # *that pair* on a fresh placement, which the shared batch
+            # claim cannot express.  The durability contract is unchanged
+            # (each pair commits in its own transaction either way).
+            return [self._put_durable(key, value) for key, value in items]
         addrs = self.engine.place_many([value for _, value in items])
         out: list[int] = []
         for i, ((key, value), addr) in enumerate(zip(items, addrs)):
@@ -374,13 +486,14 @@ class KVStore:
         # Committed: now (and only now) update the DRAM mirrors.
         self._next_epoch = epoch + 1
         self._valid[addr] = True
+        self._by_addr[addr] = key
         self.index.put(key, (addr, len(value)))
         self.pool.mark_allocated(addr)
         if old is not None:
             old_addr, _ = old
             self._valid[old_addr] = False
-            self.pool.free(old_addr)
-            self.engine.release(old_addr)
+            self._by_addr.pop(old_addr, None)
+            self._recycle_addr(old_addr)
 
     def get(self, key: bytes) -> bytes | None:
         """Value for ``key``, or ``None`` when absent."""
@@ -392,6 +505,7 @@ class KVStore:
 
     def delete(self, key: bytes) -> bool:
         """Algorithm 2: unlink, reset the flag, recycle the address."""
+        self._check_writable()
         entry = self.index.get(key)
         if entry is None:
             return False
@@ -401,11 +515,82 @@ class KVStore:
             # commits before any DRAM structure changes.
             with self.pool.transaction() as tx:
                 self.catalog.tx_clear(tx, self.pool.object_index(addr))
-            self.pool.free(addr)
         self.index.delete(key)
         self._valid[addr] = False
-        self.engine.release(addr)
+        self._by_addr.pop(addr, None)
+        self._recycle_addr(addr)
         return True
+
+    # ---------------------------------------------------- wear-out degradation
+
+    def _recycle_addr(self, old_addr: int) -> None:
+        """Recycle a no-longer-live address through the engine *and* (in
+        durable mode) the pool allocator — except that a retired or
+        retiring segment is quarantined/retired instead of re-pooled."""
+        health = self.engine.health
+        dying = health is not None and health.is_unplaceable(
+            old_addr // self.engine.segment_size
+        )
+        if self.pool is not None:
+            if dying:
+                self.pool.retire(old_addr)
+            else:
+                self.pool.free(old_addr)
+        self.engine.release(old_addr)
+
+    def _enter_read_only(self, exc: BaseException):
+        """Pool exhaustion under a wear-out model means capacity is truly
+        gone (spares included): flip to read-only and raise the dedicated
+        error.  Without wear-out the exhaustion propagates unchanged (a
+        full store, not a degraded one)."""
+        if self.engine.health is None:
+            raise exc
+        self._read_only = True
+        raise StoreReadOnlyError(
+            "wear-out exhausted free capacity and spares; the store is "
+            "now read-only"
+        ) from exc
+
+    def _maybe_relocate(self) -> None:
+        """Evacuate live values off retiring segments (ECP at capacity).
+
+        Runs opportunistically at the *start* of every PUT: each queued
+        segment's value is read back (patched through its ECP entries),
+        re-placed via a normal PUT — the ``health.relocate`` fault site
+        fires just before the rewrite — and the dying segment is retired
+        from the allocators by the PUT's own update path.  Relocations are
+        content-neutral, so they add no window where a crash could leave
+        the *caller's* PUT committed but unacknowledged.  Re-entrant PUTs
+        the relocation itself performs are guarded from recursing.
+        """
+        health = self.engine.health
+        if health is None or self._relocating or self._read_only:
+            return
+        self._relocating = True
+        try:
+            while True:
+                seg = health.pop_pending_relocation()
+                if seg is None:
+                    return
+                addr = seg * self.engine.segment_size
+                key = self._by_addr.get(addr)
+                if key is None:
+                    continue  # freed since it was queued; nothing to move
+                entry = self.index.get(key)
+                if entry is None or entry[0] != addr:
+                    continue
+                health.fire_relocate()
+                value = self.engine.controller.read(addr, entry[1])
+                try:
+                    self.put(key, value)
+                except StoreReadOnlyError:
+                    # No capacity left to move it to.  The value stays
+                    # readable where it is (its ECP entries still hold);
+                    # re-queue so a future incarnation can retry.
+                    health.queue_relocation(seg)
+                    return
+        finally:
+            self._relocating = False
 
     def scan(self, start_key: bytes, end_key: bytes) -> list[tuple[bytes, bytes]]:
         """All (key, value) pairs with start_key <= key <= end_key, in order."""

@@ -12,11 +12,17 @@ the paper:
 - :mod:`repro.nvm.wear_leveling` — segment-swap wear leveling with period ψ
   (Figure 2) and start-gap rotation.
 - :mod:`repro.nvm.controller` — the memory controller that applies a write
-  scheme (DCW, FNW, ...) plus wear leveling to every access.
+  scheme (DCW, FNW, ...) plus wear leveling to every access, and — when the
+  device models wear-out — verify-after-write with ECP correction.
+- :mod:`repro.nvm.ecc` / :mod:`repro.nvm.health` — Error-Correcting
+  Pointers (stuck-cell substitution) and segment retirement/spare-capacity
+  management for the endurance-exhaustion fault model.
 """
 
-from repro.nvm.device import NVMDevice, WriteResult
+from repro.nvm.device import NVMDevice, WearOutConfig, WriteResult
+from repro.nvm.ecc import ErrorCorrectingPointers
 from repro.nvm.energy import EnergyModel
+from repro.nvm.health import HealthManager, HealthState, SegmentRetiredError
 from repro.nvm.latency import LatencyModel
 from repro.nvm.stats import DeviceStats
 from repro.nvm.wear_leveling import (
@@ -28,12 +34,17 @@ from repro.nvm.controller import MemoryController
 
 __all__ = [
     "NVMDevice",
+    "WearOutConfig",
     "WriteResult",
     "EnergyModel",
+    "ErrorCorrectingPointers",
+    "HealthManager",
+    "HealthState",
     "LatencyModel",
     "DeviceStats",
     "MemoryController",
     "NoWearLeveling",
+    "SegmentRetiredError",
     "SegmentSwapWearLeveling",
     "StartGapWearLeveling",
 ]

@@ -11,6 +11,17 @@ wear leveling).  Every access flows through:
 
 Accesses must stay within one segment, which matches how the storage layer
 above allocates: one value per fixed-size segment.
+
+When the device models wear-out (see
+:class:`~repro.nvm.device.WearOutConfig`), the controller additionally runs
+**verify-after-write**: every programmed range is read back (the verify
+read is accounted in energy/latency stats like any other read), corrected
+through the device's ECP table, and compared against the intended content.
+Mismatching bits — stuck cells the program pulse silently failed on — are
+recorded as ECP correction entries; a write needing more entries than the
+segment has left retires the segment through the health manager and raises
+:class:`~repro.nvm.health.SegmentRetiredError` for the placement layer to
+quarantine and retry.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ import numpy as np
 from repro.baselines.base import WriteScheme
 from repro.baselines.dcw import DCW
 from repro.nvm.device import NVMDevice, WriteResult
+from repro.nvm.health import HealthManager, SegmentRetiredError
 from repro.nvm.wear_leveling import NoWearLeveling
 
 
@@ -30,6 +42,12 @@ class MemoryController:
         device: the raw simulated media.
         scheme: controller write scheme; defaults to :class:`DCW`.
         wear_leveling: segment remapping policy; defaults to none.
+        verify_writes: read back and ECP-verify every write.  ``None``
+            (default) enables it exactly when the device has a wear-out
+            model; pass ``False`` to run a wear-out device *unprotected*
+            (the corrupt-read baseline).  Verification composes only with
+            the identity wear-leveling policy: an active remapper would
+            move segments out from under their ECP entries.
     """
 
     def __init__(
@@ -37,11 +55,33 @@ class MemoryController:
         device: NVMDevice,
         scheme: WriteScheme | None = None,
         wear_leveling=None,
+        verify_writes: bool | None = None,
     ) -> None:
         self.device = device
         self.scheme = scheme if scheme is not None else DCW()
         self.wear_leveling = wear_leveling or NoWearLeveling()
         self.wear_leveling.attach(device)
+        if verify_writes is None:
+            verify_writes = device.wearout is not None
+        if verify_writes and device.ecc is None:
+            raise ValueError(
+                "verify_writes needs a device with a wearout model"
+            )
+        if verify_writes and not isinstance(
+            self.wear_leveling, NoWearLeveling
+        ):
+            raise ValueError(
+                "verify_writes cannot be combined with active wear "
+                "leveling: remapping would detach segments from their "
+                "ECP entries"
+            )
+        self.verify_writes = verify_writes
+        self.ecc = device.ecc if verify_writes else None
+        self.health_manager: HealthManager | None = (
+            HealthManager(self) if verify_writes else None
+        )
+        self.verify_reads = 0
+        self.corrections_recorded = 0
 
     @property
     def segment_size(self) -> int:
@@ -61,16 +101,93 @@ class MemoryController:
         return self.device.stats
 
     def write(self, logical_addr: int, data: bytes | np.ndarray) -> WriteResult:
-        """Write ``data`` at ``logical_addr`` through the scheme."""
+        """Write ``data`` at ``logical_addr`` through the scheme.
+
+        With verify-after-write enabled, the scheme plans against the
+        *ECP-corrected* old content (so DCW never pulses a dead-but-
+        corrected cell whose logical value already matches) and the
+        programmed range is read back and verified; see :meth:`_verify`.
+
+        Raises:
+            SegmentRetiredError: verification needed more correction
+                entries than the segment has left; the media write is
+                void (stuck cells never change) and the caller must place
+                the data elsewhere.
+        """
         data = self._as_u8(data)
         phys_addr, segment = self._map(logical_addr, data.size)
         old_stored = self.device.read_array(phys_addr, data.size)
+        size = self.device.segment_size
+        phys_seg, offset = phys_addr // size, phys_addr % size
+        if self.ecc is not None:
+            old_stored = self.ecc.correct(phys_seg, old_stored, offset)
         plan = self.scheme.prepare(logical_addr, old_stored, data)
         result = self.device.program(
             phys_addr, plan.stored, plan.program_mask, plan.aux_bits
         )
+        if self.verify_writes:
+            self._verify(phys_seg, phys_addr, offset, old_stored, plan)
         self.wear_leveling.after_write(self.device, segment)
         return result
+
+    def _verify(
+        self, phys_seg: int, phys_addr: int, offset: int, old_corrected, plan
+    ) -> None:
+        """Read back a just-programmed range, patch it through the ECP
+        table and compare against the intended content; record fresh
+        correction entries for any cell the program pulse failed on.
+
+        Already-retired segments are exempt: undo-log rollback restores
+        old data onto them best-effort (their surviving cells still hold
+        it) and must not cascade into further retirement errors.
+        """
+        health = self.device.health
+        if health is not None and phys_seg in health.retired:
+            return
+        mask = plan.program_mask
+        if mask is None:
+            mask = np.full(plan.stored.size, 0xFF, dtype=np.uint8)
+        expected = np.bitwise_or(
+            np.bitwise_and(old_corrected, np.bitwise_not(mask)),
+            np.bitwise_and(plan.stored, mask),
+        )
+        readback = self.device.read_array(phys_addr, expected.size)
+        self.verify_reads += 1
+        readback = self.ecc.correct(phys_seg, readback, offset)
+        diff = np.bitwise_xor(readback, expected)
+        if diff.any():
+            positions = np.flatnonzero(np.unpackbits(diff))
+            bit_offsets = offset * 8 + positions
+            values = np.unpackbits(expected)[positions]
+            if not self.ecc.record(phys_seg, bit_offsets, values):
+                if self.health_manager is not None:
+                    self.health_manager.retire(phys_seg)
+                else:
+                    health.retired.add(phys_seg)
+                raise SegmentRetiredError(phys_seg)
+            self.corrections_recorded += int(positions.size)
+        if self.ecc.at_capacity(phys_seg) and self.health_manager is not None:
+            self.health_manager.mark_retiring(phys_seg)
+
+    def torn_program(self, logical_addr: int, data: bytes | np.ndarray) -> None:
+        """Program ``data`` as a crash-interrupted write.
+
+        The media pulses land (stuck cells silently keep their value), but
+        nothing that needs the controller to stay alive afterwards runs: no
+        verify read-back, no ECP recording, no retirement, no wear-leveling
+        bookkeeping.  Torn-write fault injection uses this as its payload
+        writer — routing a tear through :meth:`write` would let
+        verify-after-write retire a segment *during* the simulated crash,
+        swallowing the crash error and making the replay diverge.
+        """
+        data = self._as_u8(data)
+        phys_addr, _ = self._map(logical_addr, data.size)
+        old_stored = self.device.read_array(phys_addr, data.size)
+        old_stored = self._corrected(phys_addr, old_stored)
+        plan = self.scheme.prepare(logical_addr, old_stored, data)
+        self.device.program(
+            phys_addr, plan.stored, plan.program_mask, plan.aux_bits
+        )
 
     def write_many(
         self, logical_addrs, values
@@ -92,6 +209,7 @@ class MemoryController:
         length = rows[0].size
         batched = (
             len(rows) > 1
+            and not self.verify_writes
             and isinstance(self.wear_leveling, NoWearLeveling)
             and all(r.size == length for r in rows)
         )
@@ -114,16 +232,27 @@ class MemoryController:
         return self.device.program_many(phys, stored, masks, aux)
 
     def read(self, logical_addr: int, length: int) -> bytes:
-        """Read ``length`` logical bytes from ``logical_addr``."""
+        """Read ``length`` logical bytes from ``logical_addr`` (patched
+        through the ECP table when verification is enabled)."""
         phys_addr, _ = self._map(logical_addr, length)
         stored = self.device.read_array(phys_addr, length)
+        stored = self._corrected(phys_addr, stored)
         return self.scheme.decode(logical_addr, stored).tobytes()
 
     def peek(self, logical_addr: int, length: int) -> np.ndarray:
         """Unaccounted decoded read (tooling/tests/model training snapshots)."""
         phys_addr, _ = self._map(logical_addr, length)
         stored = self.device.peek(phys_addr, length)
+        stored = self._corrected(phys_addr, stored)
         return np.asarray(self.scheme.decode(logical_addr, stored), dtype=np.uint8)
+
+    def _corrected(self, phys_addr: int, stored: np.ndarray) -> np.ndarray:
+        if self.ecc is None:
+            return stored
+        size = self.device.segment_size
+        return self.ecc.correct(
+            phys_addr // size, stored, phys_addr % size
+        )
 
     def segment_address(self, index: int) -> int:
         """Logical byte address of logical segment ``index``."""

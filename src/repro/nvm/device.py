@@ -15,19 +15,61 @@ device only accounts for the activity:
 Per-segment write counters are always maintained; per-bit programming
 counters (needed for the Figure 19 wear CDFs) are optional because they cost
 8x the device capacity in counter memory.
+
+With a :class:`WearOutConfig` the device additionally models *endurance
+exhaustion*: every cell draws a per-cell endurance budget (lognormal
+variation around the configured mean, seeded) and, once its programming
+count exceeds that budget, becomes **stuck-at** its current value —
+subsequent programming pulses to it silently fail and reads return the
+stuck value.  The device then also carries an
+:class:`~repro.nvm.ecc.ErrorCorrectingPointers` table and a
+:class:`~repro.nvm.health.HealthState` (both persisted by
+:meth:`NVMDevice.save`); the controller's verify-after-write path uses them
+to detect, correct and eventually retire failing segments.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nvm.ecc import ErrorCorrectingPointers
 from repro.nvm.energy import EnergyModel
+from repro.nvm.health import HealthState
 from repro.nvm.latency import LatencyModel
 from repro.nvm.stats import DeviceStats
 from repro.util.bits import popcount_array, popcount_rows
 from repro.util.rng import rng_from_seed
+
+#: Budget assigned to cells exempted from wear-out (``immortal_prefix``).
+_IMMORTAL_BUDGET = np.int64(2**62)
+
+
+@dataclass(frozen=True)
+class WearOutConfig:
+    """Endurance-exhaustion model parameters.
+
+    Attributes:
+        endurance_mean: median per-cell endurance in program cycles (PCM is
+            1e8–1e9; tests use tiny values as accelerated aging).
+        endurance_sigma: sigma of the lognormal cell-to-cell variation
+            (process variation makes some cells die much earlier than the
+            mean — the reason verify-after-write is needed at all).
+        seed: RNG seed for drawing the per-cell budgets.
+        ecp_entries: ECP correction entries per segment; exceeding this is
+            segment failure.
+        immortal_prefix_segments: leading segments exempt from wear-out
+            (the persistent pool's log/catalog region, which real systems
+            place on replicated or DRAM-buffered media).
+    """
+
+    endurance_mean: float = 1e8
+    endurance_sigma: float = 0.15
+    seed: int = 0
+    ecp_entries: int = 6
+    immortal_prefix_segments: int = 0
 
 
 @dataclass(frozen=True)
@@ -62,6 +104,11 @@ class NVMDevice:
             site before any accounting, so tests can crash a run at any
             media write — including *torn* writes where only a prefix of
             the programmed bytes lands before the (simulated) power loss.
+            With a wear-out model, ``"device.stuck_at"`` additionally fires
+            after any program call that exhausts new cells.
+        wearout: optional :class:`WearOutConfig` enabling the endurance
+            exhaustion model (per-cell budgets, stuck-at failure, an ECP
+            table on ``self.ecc`` and health state on ``self.health``).
     """
 
     def __init__(
@@ -74,6 +121,7 @@ class NVMDevice:
         initial_fill: str = "zero",
         seed: int | np.random.Generator | None = None,
         faults=None,
+        wearout: WearOutConfig | None = None,
     ) -> None:
         if segment_size <= 0:
             raise ValueError("segment_size must be positive")
@@ -102,6 +150,38 @@ class NVMDevice:
         self._bit_wear: np.ndarray | None = None
         if track_bit_wear:
             self._bit_wear = np.zeros(capacity_bytes * 8, dtype=np.int64)
+
+        self.wearout = wearout
+        self._wear_count: np.ndarray | None = None
+        self._endurance_budget: np.ndarray | None = None
+        self._stuck_packed: np.ndarray | None = None
+        self.ecc: ErrorCorrectingPointers | None = None
+        self.health: HealthState | None = None
+        if wearout is not None:
+            self._init_wearout(wearout)
+
+    def _init_wearout(self, cfg: WearOutConfig) -> None:
+        if cfg.endurance_mean < 1:
+            raise ValueError("endurance_mean must be at least 1")
+        if not 0 <= cfg.immortal_prefix_segments <= self.n_segments:
+            raise ValueError("immortal_prefix_segments out of range")
+        n_bits = self.capacity_bytes * 8
+        rng = rng_from_seed(cfg.seed)
+        budgets = rng.lognormal(
+            mean=math.log(cfg.endurance_mean),
+            sigma=cfg.endurance_sigma,
+            size=n_bits,
+        )
+        self._endurance_budget = np.maximum(budgets, 1.0).astype(np.int64)
+        immortal = cfg.immortal_prefix_segments * self.segment_size * 8
+        if immortal:
+            self._endurance_budget[:immortal] = _IMMORTAL_BUDGET
+        self._wear_count = np.zeros(n_bits, dtype=np.int64)
+        self._stuck_packed = np.zeros(self.capacity_bytes, dtype=np.uint8)
+        self.ecc = ErrorCorrectingPointers(
+            self.segment_size, cfg.ecp_entries
+        )
+        self.health = HealthState()
 
     @property
     def n_segments(self) -> int:
@@ -209,7 +289,16 @@ class NVMDevice:
             )
 
         old = self._content[addr : addr + length]
-        flips_mask = np.bitwise_and(mask, np.bitwise_xor(old, new))
+        # Pulses aimed at stuck cells silently fail: they cost energy and
+        # wear (counted from the full mask) but can no longer flip anything.
+        if self._stuck_packed is not None:
+            eff_mask = np.bitwise_and(
+                mask,
+                np.bitwise_not(self._stuck_packed[addr : addr + length]),
+            )
+        else:
+            eff_mask = mask
+        flips_mask = np.bitwise_and(eff_mask, np.bitwise_xor(old, new))
         bits_programmed = popcount_array(mask)
         bits_flipped = popcount_array(flips_mask)
         dirty_lines = self._dirty_lines(addr, mask)
@@ -239,6 +328,9 @@ class NVMDevice:
         if self._bit_wear is not None and bits_programmed:
             bit_positions = np.flatnonzero(np.unpackbits(mask))
             self._bit_wear[addr * 8 + bit_positions] += 1
+
+        if self._wear_count is not None:
+            self._note_wear(addr, mask)
 
         return WriteResult(
             bits_programmed=bits_programmed,
@@ -299,10 +391,19 @@ class NVMDevice:
 
         idx = addrs[:, None] + np.arange(length)
         old = self._content[idx].copy()
+        # Capture the pre-call stuck state: rows never overlap, so per-row
+        # flip accounting matches a sequential loop exactly.
+        if self._stuck_packed is not None:
+            eff_masks = np.bitwise_and(
+                masks, np.bitwise_not(self._stuck_packed[idx])
+            )
+        else:
+            eff_masks = masks
 
         if self.faults is not None:
             # Fire the fault site and persist row by row, in row order, so
-            # crash points land between rows exactly as in a scalar loop.
+            # crash points land between rows exactly as in a scalar loop
+            # (including ``device.stuck_at`` firings between rows).
             for i in range(n_rows):
                 self.faults.fire(
                     "device.program",
@@ -312,13 +413,18 @@ class NVMDevice:
                     ),
                 )
                 self._apply_masked(int(addrs[i]), new[i], masks[i])
+                if self._wear_count is not None:
+                    self._note_wear(int(addrs[i]), masks[i])
         else:
             self._content[idx] = np.bitwise_or(
-                np.bitwise_and(old, np.bitwise_not(masks)),
-                np.bitwise_and(new, masks),
+                np.bitwise_and(old, np.bitwise_not(eff_masks)),
+                np.bitwise_and(new, eff_masks),
             )
+            if self._wear_count is not None:
+                for i in range(n_rows):
+                    self._note_wear(int(addrs[i]), masks[i])
 
-        flips_masks = np.bitwise_and(masks, np.bitwise_xor(old, new))
+        flips_masks = np.bitwise_and(eff_masks, np.bitwise_xor(old, new))
         bits_programmed = popcount_rows(masks)
         bits_flipped = popcount_rows(flips_masks)
 
@@ -379,6 +485,74 @@ class NVMDevice:
 
     # ------------------------------------------------------------------ wear
 
+    def _note_wear(self, addr: int, mask: np.ndarray) -> None:
+        """Charge one program cycle to every masked cell and mark cells
+        whose budget is now exhausted as stuck (at their current value).
+
+        The exhausting pulse itself still landed — a cell fails *after*
+        reaching its budget, so subsequent programs are the ones that
+        silently fail.  Fires ``"device.stuck_at"`` once per program call
+        that kills at least one new cell.
+        """
+        positions = addr * 8 + np.flatnonzero(np.unpackbits(mask))
+        if positions.size == 0:
+            return
+        self._wear_count[positions] += 1
+        dead = positions[
+            self._wear_count[positions] >= self._endurance_budget[positions]
+        ]
+        if dead.size == 0:
+            return
+        already = (self._stuck_packed[dead // 8] >> (7 - dead % 8)) & 1
+        fresh = dead[already == 0]
+        if fresh.size == 0:
+            return
+        np.bitwise_or.at(
+            self._stuck_packed,
+            fresh // 8,
+            (0x80 >> (fresh % 8)).astype(np.uint8),
+        )
+        if self.faults is not None:
+            self.faults.fire("device.stuck_at")
+
+    def age(self, cycles: int) -> int:
+        """Accelerated aging: charge ``cycles`` extra program cycles to
+        every cell at once (no content change, no stats).
+
+        Cells whose budget is exhausted become stuck at their *current*
+        value, exactly as organic wear-out would leave them.  Returns the
+        number of cells that died.  Requires a wear-out model.
+        """
+        if self._wear_count is None:
+            raise RuntimeError("device was created without a wearout model")
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self._wear_count += cycles
+        dead = np.flatnonzero(self._wear_count >= self._endurance_budget)
+        already = (self._stuck_packed[dead // 8] >> (7 - dead % 8)) & 1
+        fresh = dead[already == 0]
+        if fresh.size:
+            np.bitwise_or.at(
+                self._stuck_packed,
+                fresh // 8,
+                (0x80 >> (fresh % 8)).astype(np.uint8),
+            )
+        return int(fresh.size)
+
+    def stuck_cell_count(self) -> int:
+        """Cells permanently stuck at their current value (0 without a
+        wear-out model)."""
+        if self._stuck_packed is None:
+            return 0
+        return popcount_array(self._stuck_packed)
+
+    def stuck_mask(self, addr: int, length: int) -> np.ndarray:
+        """Packed per-bit stuck flags for ``[addr, addr + length)``."""
+        if self._stuck_packed is None:
+            return np.zeros(length, dtype=np.uint8)
+        self._check_range(addr, length)
+        return self._stuck_packed[addr : addr + length].copy()
+
     @property
     def bit_wear(self) -> np.ndarray:
         """Per-bit programming counters (requires ``track_bit_wear=True``)."""
@@ -394,12 +568,19 @@ class NVMDevice:
 
         Returns a dict with per-segment write statistics, per-bit wear
         statistics when tracked, and the fraction of the worst cell's
-        endurance consumed.
+        endurance consumed.  Without per-bit tracking the
+        ``lifetime_consumed`` estimate falls back to the per-segment write
+        counters: one segment write pulses each of its cells at most once,
+        so the hottest segment's write count upper-bounds its worst cell's
+        wear (``lifetime_estimate_basis`` records which source was used).
         """
         summary = {
             "segment_writes_max": int(self.segment_write_count.max()),
             "segment_writes_mean": float(self.segment_write_count.mean()),
             "segment_writes_std": float(self.segment_write_count.std()),
+            "lifetime_consumed": int(self.segment_write_count.max())
+            / endurance,
+            "lifetime_estimate_basis": "segment_writes",
         }
         if self._bit_wear is not None:
             worst = int(self._bit_wear.max())
@@ -408,8 +589,11 @@ class NVMDevice:
                     "bit_wear_max": worst,
                     "bit_wear_mean": float(self._bit_wear.mean()),
                     "lifetime_consumed": worst / endurance,
+                    "lifetime_estimate_basis": "bit_wear",
                 }
             )
+        if self._wear_count is not None:
+            summary["stuck_cells"] = self.stuck_cell_count()
         return summary
 
     def reset_stats(self) -> None:
@@ -433,6 +617,28 @@ class NVMDevice:
         }
         if self._bit_wear is not None:
             arrays["bit_wear"] = self._bit_wear
+        if self.wearout is not None:
+            cfg = self.wearout
+            arrays["wearout_params"] = np.array(
+                [
+                    cfg.endurance_mean,
+                    cfg.endurance_sigma,
+                    float(cfg.seed),
+                    float(cfg.ecp_entries),
+                    float(cfg.immortal_prefix_segments),
+                ]
+            )
+            arrays["endurance_budget"] = self._endurance_budget
+            arrays["wear_count"] = self._wear_count
+            arrays["stuck_packed"] = self._stuck_packed
+            segs, offs, vals = self.ecc.state_arrays()
+            arrays["ecp_segments"] = segs
+            arrays["ecp_offsets"] = offs
+            arrays["ecp_values"] = vals
+            retired, retiring, spares = self.health.snapshot_arrays()
+            arrays["health_retired"] = np.asarray(retired, dtype=np.int64)
+            arrays["health_retiring"] = np.asarray(retiring, dtype=np.int64)
+            arrays["health_spares"] = np.asarray(spares, dtype=np.int64)
         np.savez_compressed(path, **arrays)
 
     @classmethod
@@ -445,18 +651,47 @@ class NVMDevice:
         """Restore a device from a :meth:`save` snapshot."""
         with np.load(path) as archive:
             capacity, segment_size = (int(x) for x in archive["geometry"])
+            wearout = None
+            if "wearout_params" in archive:
+                mean, sigma, seed, entries, immortal = archive[
+                    "wearout_params"
+                ]
+                wearout = WearOutConfig(
+                    endurance_mean=float(mean),
+                    endurance_sigma=float(sigma),
+                    seed=int(seed),
+                    ecp_entries=int(entries),
+                    immortal_prefix_segments=int(immortal),
+                )
             device = cls(
                 capacity_bytes=capacity,
                 segment_size=segment_size,
                 energy_model=energy_model,
                 latency_model=latency_model,
                 track_bit_wear="bit_wear" in archive,
+                wearout=wearout,
             )
             device._content[:] = archive["content"]
             device.segment_write_count[:] = archive["segment_write_count"]
             if "bit_wear" in archive:
                 assert device._bit_wear is not None
                 device._bit_wear[:] = archive["bit_wear"]
+            if wearout is not None:
+                # The saved arrays override the freshly drawn budgets —
+                # dead cells must never resurrect on a reopened store.
+                device._endurance_budget[:] = archive["endurance_budget"]
+                device._wear_count[:] = archive["wear_count"]
+                device._stuck_packed[:] = archive["stuck_packed"]
+                device.ecc.restore_state(
+                    archive["ecp_segments"],
+                    archive["ecp_offsets"],
+                    archive["ecp_values"],
+                )
+                device.health.restore_arrays(
+                    archive["health_retired"],
+                    archive["health_retiring"],
+                    archive["health_spares"],
+                )
         return device
 
     # -------------------------------------------------------------- internals
@@ -464,9 +699,19 @@ class NVMDevice:
     def _apply_masked(
         self, addr: int, new: np.ndarray, mask: np.ndarray
     ) -> None:
-        """Masked bits take the new value, unmasked bits keep the old."""
+        """Masked bits take the new value, unmasked bits keep the old.
+
+        The single choke point through which all media mutation flows
+        (scalar, batched and torn-write paths alike): stuck cells are
+        stripped from the mask here, so no path can ever change one.
+        """
         if new.size == 0:
             return
+        if self._stuck_packed is not None:
+            mask = np.bitwise_and(
+                mask,
+                np.bitwise_not(self._stuck_packed[addr : addr + new.size]),
+            )
         old = self._content[addr : addr + new.size]
         self._content[addr : addr + new.size] = np.bitwise_or(
             np.bitwise_and(old, np.bitwise_not(mask)),

@@ -1,0 +1,197 @@
+"""Device health: segment retirement, spare capacity and degradation
+telemetry.
+
+Two pieces with very different lifetimes cooperate here:
+
+- :class:`HealthState` is *media state*.  It lives on the
+  :class:`~repro.nvm.device.NVMDevice` object (``device.health``), models a
+  reserved metadata region on the media, survives a simulated crash (the
+  device object is the media) and round-trips through
+  ``NVMDevice.save()/load()``.  It records which physical segments are
+  retired (ECP capacity exceeded — never place data there again), which
+  are retiring (at ECP capacity — still readable, evacuate soon) and which
+  addresses are reserved spares.
+- :class:`HealthManager` is *policy*.  One is created per
+  :class:`~repro.nvm.controller.MemoryController` when verify-after-write
+  is enabled; it mutates the device-resident state, fires the
+  ``"health.retire"`` / ``"health.relocate"`` fault sites (through the
+  device's injector) and maintains the DRAM relocation queue the storage
+  layer drains.  Fault sites fire *before* the state mutation, so an
+  injected crash models dying before the metadata write — exactly the
+  window the crash-sweep harness probes.
+
+Retirement contract (see README "Degraded mode"): a write whose
+verify-after-write would need more ECP entries than the segment has left
+raises :class:`SegmentRetiredError`; the placement engine quarantines the
+address, adopts a spare when one is reserved, and retries.  Once spares
+and free capacity are exhausted the KV store degrades to read-only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class SegmentRetiredError(RuntimeError):
+    """A write failed verification beyond the segment's ECP capacity.
+
+    The segment is retired: its address must be quarantined and the write
+    retried elsewhere.  Carries the failing physical segment on
+    ``.segment``.
+    """
+
+    def __init__(self, segment: int, message: str | None = None) -> None:
+        super().__init__(
+            message
+            or f"segment {segment} exceeded its ECP correction capacity"
+        )
+        self.segment = segment
+
+
+class HealthState:
+    """Media-resident degradation bookkeeping (attached to the device)."""
+
+    def __init__(self) -> None:
+        #: Physical segments whose ECP capacity was exceeded; dead for
+        #: placement, reads still served (rolled-back old data is intact
+        #: because stuck cells hold exactly the bits they refused to flip).
+        self.retired: set[int] = set()
+        #: Physical segments at (but not beyond) ECP capacity: still
+        #: correct, but the next new dead cell kills them — evacuate.
+        self.retiring: set[int] = set()
+        #: Reserved spare segment addresses, handed out FIFO on retirement.
+        self.spares: list[int] = []
+
+    def snapshot_arrays(self):
+        """(retired, retiring, spares) as plain int lists for ``np.savez``."""
+        return (
+            sorted(self.retired),
+            sorted(self.retiring),
+            list(self.spares),
+        )
+
+    def restore_arrays(self, retired, retiring, spares) -> None:
+        self.retired = {int(s) for s in retired}
+        self.retiring = {int(s) for s in retiring}
+        self.spares = [int(a) for a in spares]
+
+
+class HealthManager:
+    """Retirement/relocation policy over a controller's device.
+
+    Args:
+        controller: the :class:`~repro.nvm.controller.MemoryController`
+            whose verify path reports failures here.
+        faults: optional fault injector; defaults to the device's.  Fires
+            ``"health.retire"`` when a segment is retired and
+            ``"health.relocate"`` is fired by the storage layer as it
+            evacuates a value (see ``KVStore._relocate``).
+    """
+
+    def __init__(self, controller, faults=None) -> None:
+        self.controller = controller
+        self.device = controller.device
+        if getattr(self.device, "health", None) is None:
+            self.device.health = HealthState()
+        self.state: HealthState = self.device.health
+        self.faults = faults if faults is not None else self.device.faults
+        # DRAM relocation queue: retiring segments with live data the
+        # storage layer still has to move.  Rebuilt on recovery from the
+        # persisted retiring set intersected with the live index.
+        self._pending: deque[int] = deque()
+        self._pending_set: set[int] = set()
+
+    # ------------------------------------------------------------ transitions
+
+    def retire(self, segment: int) -> None:
+        """Mark ``segment`` failed.  Fires ``health.retire`` first: an
+        injected crash at the site models dying before the metadata write,
+        leaving the retirement to be rediscovered after recovery."""
+        if segment in self.state.retired:
+            return
+        self._fire("health.retire")
+        self.state.retired.add(segment)
+        self.state.retiring.discard(segment)
+        if segment in self._pending_set:
+            self._pending_set.discard(segment)
+            try:
+                self._pending.remove(segment)
+            except ValueError:
+                pass
+
+    def mark_retiring(self, segment: int) -> None:
+        """Queue a segment that just hit ECP capacity for evacuation."""
+        if segment in self.state.retired or segment in self.state.retiring:
+            return
+        self.state.retiring.add(segment)
+        self.queue_relocation(segment)
+
+    def queue_relocation(self, segment: int) -> None:
+        """(Re-)enqueue a retiring segment for the storage layer to drain
+        (recovery re-queues persisted retiring segments with live data)."""
+        if segment not in self._pending_set:
+            self._pending_set.add(segment)
+            self._pending.append(segment)
+
+    def pop_pending_relocation(self) -> int | None:
+        """Next retiring segment awaiting evacuation, or ``None``."""
+        if not self._pending:
+            return None
+        segment = self._pending.popleft()
+        self._pending_set.discard(segment)
+        return segment
+
+    def fire_relocate(self) -> None:
+        """Hit the ``health.relocate`` site (called by the storage layer
+        just before it rewrites an evacuated value)."""
+        self._fire("health.relocate")
+
+    # ---------------------------------------------------------------- spares
+
+    def add_spares(self, addresses) -> None:
+        """Register reserved spare addresses (persisted on the device)."""
+        self.state.spares.extend(int(a) for a in addresses)
+
+    def take_spare(self) -> int | None:
+        """Hand out the next spare address, or ``None`` when exhausted."""
+        if not self.state.spares:
+            return None
+        return self.state.spares.pop(0)
+
+    @property
+    def spares_left(self) -> int:
+        return len(self.state.spares)
+
+    # ------------------------------------------------------------- inspection
+
+    def is_retired(self, segment: int) -> bool:
+        return segment in self.state.retired
+
+    def is_unplaceable(self, segment: int) -> bool:
+        """Whether placement must never hand this segment out."""
+        return (
+            segment in self.state.retired or segment in self.state.retiring
+        )
+
+    def telemetry(self) -> dict:
+        """Degradation snapshot for monitoring and the lifetime benchmark."""
+        device = self.device
+        ecc = getattr(device, "ecc", None)
+        n = device.n_segments
+        dead = len(self.state.retired)
+        return {
+            "stuck_cells": device.stuck_cell_count(),
+            "corrections_active": (
+                ecc.corrections_active if ecc is not None else 0
+            ),
+            "segments_retired": dead,
+            "segments_retiring": len(self.state.retiring),
+            "spares_left": len(self.state.spares),
+            "usable_capacity_fraction": (n - dead) / n if n else 0.0,
+        }
+
+    # -------------------------------------------------------------- internals
+
+    def _fire(self, site: str) -> None:
+        if self.faults is not None:
+            self.faults.fire(site)

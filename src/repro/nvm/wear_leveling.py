@@ -9,6 +9,29 @@ All policies maintain a logical→physical segment mapping.  Swap traffic goes
 through the device with a DCW (differing-bits-only) mask, so the extra flips
 that swapping causes are accounted — the paper notes wear leveling "may
 introduce more bit flips ... due to the swap operation" (§2.3).
+
+Crash tolerance
+---------------
+
+A segment copy is only crash-safe when data is written to a *free* segment
+first and the mapping committed *last*: the old location then stays intact
+until the mapping no longer points at it.  :class:`StartGapWearLeveling`
+has this property by construction (the gap is free).  The legacy in-place
+exchange of :class:`SegmentSwapWearLeveling` does **not** — a crash between
+its two programs leaves one segment half-overwritten with the mapping still
+pointing at it.  Its ``scratch=True`` mode fixes this by reserving one
+physical segment as a rotating scratch area and performing every swap as
+two gap-style moves, each committing the mapping only after its copy
+landed.
+
+Policies expose ``mapping_state()`` / ``restore_mapping()`` plus an
+``on_mapping_commit`` callback, modelling the hardware's persistent remap
+table: the crash-sweep harness snapshots the state at every commit and
+rebuilds the leveler from the last committed snapshot after an injected
+crash (see :func:`repro.testing.crash_sweep.run_wear_leveling_crash_sweep`).
+The ``"wl.swap"`` / ``"wl.gap_move"`` fault sites fire (through the
+device's injector) at the start of each copy operation so sweeps can crash
+at every one.
 """
 
 from __future__ import annotations
@@ -41,22 +64,54 @@ class SegmentSwapWearLeveling:
         period: ψ, the number of writes between swaps; ``period=1`` swaps on
             every write (the adversarial case of Figure 2).
         seed: RNG seed for peer selection.
+        scratch: reserve the last physical segment as a rotating scratch
+            area and perform swaps as two crash-safe gap-style moves
+            (copy-to-free first, mapping commit last).  Costs one segment
+            of logical capacity; the default keeps the legacy in-place
+            exchange, which is *not* crash-tolerant.
     """
 
-    def __init__(self, period: int, seed: int | np.random.Generator | None = 0):
+    def __init__(
+        self,
+        period: int,
+        seed: int | np.random.Generator | None = 0,
+        scratch: bool = False,
+    ):
         if period < 1:
             raise ValueError("period must be >= 1")
         self.period = period
+        self.scratch = scratch
         self._rng = rng_from_seed(seed)
         self._writes_since_swap = 0
         self.swaps_performed = 0
         self._logical_to_physical: np.ndarray | None = None
         self._physical_to_logical: np.ndarray | None = None
+        self._scratch_seg: int | None = None
+        self._n: int | None = None
+        #: Called after every mapping-table commit (models the hardware
+        #: persisting its remap table); crash harnesses snapshot here.
+        self.on_mapping_commit = None
 
     def attach(self, device: NVMDevice) -> None:
         n = device.n_segments
-        self._logical_to_physical = np.arange(n, dtype=np.int64)
+        self._n = n
+        if self.scratch and n < 2:
+            raise ValueError("scratch mode needs at least 2 segments")
+        logical = n - 1 if self.scratch else n
+        self._logical_to_physical = np.arange(logical, dtype=np.int64)
         self._physical_to_logical = np.arange(n, dtype=np.int64)
+        if self.scratch:
+            self._scratch_seg = n - 1
+            self._physical_to_logical[n - 1] = -1
+        else:
+            self._scratch_seg = None
+
+    @property
+    def logical_segments(self) -> int:
+        """Logical segments exposed (physical minus the scratch, if any)."""
+        if self._n is None:
+            raise RuntimeError("wear leveler not attached to a device")
+        return self._n - 1 if self.scratch else self._n
 
     def to_physical(self, logical_segment: int) -> int:
         if self._logical_to_physical is None:
@@ -70,10 +125,42 @@ class SegmentSwapWearLeveling:
         self._writes_since_swap = 0
         self._swap(device, logical_segment)
 
+    # --------------------------------------------------- mapping persistence
+
+    def mapping_state(self) -> dict:
+        """Snapshot of the (logically media-resident) remap table."""
+        assert self._logical_to_physical is not None
+        return {
+            "l2p": self._logical_to_physical.copy(),
+            "p2l": self._physical_to_logical.copy(),
+            "scratch_seg": self._scratch_seg,
+            "writes_since_swap": self._writes_since_swap,
+            "swaps_performed": self.swaps_performed,
+        }
+
+    def restore_mapping(self, state: dict) -> None:
+        """Reinstate a :meth:`mapping_state` snapshot (crash recovery)."""
+        self._logical_to_physical = state["l2p"].copy()
+        self._physical_to_logical = state["p2l"].copy()
+        self._scratch_seg = state["scratch_seg"]
+        self._writes_since_swap = state["writes_since_swap"]
+        self.swaps_performed = state["swaps_performed"]
+
+    def _commit_mapping(self) -> None:
+        if self.on_mapping_commit is not None:
+            self.on_mapping_commit()
+
+    # ----------------------------------------------------------------- swaps
+
     def _swap(self, device: NVMDevice, logical_segment: int) -> None:
         assert self._logical_to_physical is not None
         assert self._physical_to_logical is not None
         n = device.n_segments
+        if self.scratch:
+            if n < 3:
+                return  # one scratch + one data segment: nothing to swap with
+            self._swap_via_scratch(device, logical_segment)
+            return
         if n < 2:
             return
         phys_a = int(self._logical_to_physical[logical_segment])
@@ -81,12 +168,16 @@ class SegmentSwapWearLeveling:
         if phys_b == phys_a:
             phys_b = (phys_b + 1) % n
 
+        if device.faults is not None:
+            device.faults.fire("wl.swap")
         size = device.segment_size
         addr_a = phys_a * size
         addr_b = phys_b * size
         content_a = device.read_array(addr_a, size)
         content_b = device.read_array(addr_b, size)
         # Physically exchange the contents, programming only differing bits.
+        # NOT crash-safe: a crash between the two programs corrupts segment
+        # a with the mapping still pointing at it (use scratch=True).
         diff = np.bitwise_xor(content_a, content_b)
         if diff.any():
             device.program(addr_a, content_b, program_mask=diff)
@@ -98,6 +189,56 @@ class SegmentSwapWearLeveling:
         self._physical_to_logical[phys_a] = logical_b
         self._physical_to_logical[phys_b] = logical_segment
         self.swaps_performed += 1
+        self._commit_mapping()
+
+    def _swap_via_scratch(
+        self, device: NVMDevice, logical_segment: int
+    ) -> None:
+        """Crash-safe swap: two gap-style moves through the scratch segment.
+
+        Each move copies into the currently *free* segment and commits the
+        mapping afterwards, so at every instant the mapping points at fully
+        intact data; a crash loses at most not-yet-committed moves.  The
+        scratch rotates (a → b's old home → ...) which adds start-gap-like
+        drift on top of the random swaps.
+        """
+        assert self._scratch_seg is not None
+        n = self._n
+        phys_a = int(self._logical_to_physical[logical_segment])
+        # Random peer among data segments (not a, not the scratch).
+        phys_b = int(self._rng.integers(0, n))
+        while phys_b == phys_a or phys_b == self._scratch_seg:
+            phys_b = (phys_b + 1) % n
+        logical_b = int(self._physical_to_logical[phys_b])
+
+        if device.faults is not None:
+            device.faults.fire("wl.swap")
+        # Move 1: a's content into the scratch; a's old home becomes free.
+        self._move_into_free(device, phys_a, logical_segment)
+        # Move 2: b's content into a's old home; b's becomes the scratch.
+        self._move_into_free(device, phys_b, logical_b)
+        self.swaps_performed += 1
+
+    def _move_into_free(
+        self, device: NVMDevice, src_phys: int, logical: int
+    ) -> None:
+        """One gap-style move: program the free scratch segment with the
+        source's content, then commit the mapping update."""
+        assert self._scratch_seg is not None
+        if device.faults is not None:
+            device.faults.fire("wl.gap_move")
+        size = device.segment_size
+        dst = self._scratch_seg
+        content = device.read_array(src_phys * size, size)
+        resident = device.read_array(dst * size, size)
+        diff = np.bitwise_xor(content, resident)
+        if diff.any():
+            device.program(dst * size, content, program_mask=diff)
+        self._logical_to_physical[logical] = dst
+        self._physical_to_logical[dst] = logical
+        self._physical_to_logical[src_phys] = -1
+        self._scratch_seg = src_phys
+        self._commit_mapping()
 
 
 class StartGapWearLeveling:
@@ -106,6 +247,10 @@ class StartGapWearLeveling:
     One spare "gap" segment rotates through the device: every ψ writes the
     segment adjacent to the gap is copied into it and the gap advances, so
     hot logical segments slowly migrate over the whole media.
+
+    Crash-safe by construction: the copy lands in the (free) gap first and
+    the gap pointer — the mapping — moves only afterwards, so a crash
+    mid-copy leaves the mapping pointing at the intact donor segment.
     """
 
     def __init__(self, period: int):
@@ -117,6 +262,8 @@ class StartGapWearLeveling:
         self._start = 0
         self._gap: int | None = None
         self._n: int | None = None
+        #: Called after every gap-pointer commit (see SegmentSwap's note).
+        self.on_mapping_commit = None
 
     def attach(self, device: NVMDevice) -> None:
         # The last physical segment starts as the gap; logical space is one
@@ -150,12 +297,32 @@ class StartGapWearLeveling:
         self._writes_since_move = 0
         self._move_gap(device)
 
+    def mapping_state(self) -> dict:
+        """Snapshot of the (logically media-resident) gap/start pointers."""
+        return {
+            "start": self._start,
+            "gap": self._gap,
+            "writes_since_move": self._writes_since_move,
+            "moves_performed": self.moves_performed,
+        }
+
+    def restore_mapping(self, state: dict) -> None:
+        """Reinstate a :meth:`mapping_state` snapshot (crash recovery)."""
+        self._start = state["start"]
+        self._gap = state["gap"]
+        self._writes_since_move = state["writes_since_move"]
+        self.moves_performed = state["moves_performed"]
+
     def _move_gap(self, device: NVMDevice) -> None:
         assert self._n is not None and self._gap is not None
+        if device.faults is not None:
+            device.faults.fire("wl.gap_move")
         size = device.segment_size
         donor = (self._gap - 1) % self._n
         content = device.read_array(donor * size, size)
         old_gap = device.read_array(self._gap * size, size)
+        # Gap-first write order: the donor keeps its data until the gap
+        # pointer (the mapping) commits below.
         diff = np.bitwise_xor(content, old_gap)
         if diff.any():
             device.program(self._gap * size, content, program_mask=diff)
@@ -166,3 +333,5 @@ class StartGapWearLeveling:
             # The gap jumped from physical 0 back to the top: one full
             # revolution completed, so the logical ring rotates by one.
             self._start = (self._start + 1) % (self._n - 1)
+        if self.on_mapping_commit is not None:
+            self.on_mapping_commit()

@@ -30,6 +30,7 @@ import zlib
 from collections import deque
 
 from repro.nvm.controller import MemoryController
+from repro.nvm.health import SegmentRetiredError
 from repro.pmem.transaction import Transaction
 
 _LOG_HEADER_BYTES = 16
@@ -87,6 +88,7 @@ class PersistentPool:
         # FIFO hand-out order and is cleaned lazily in :meth:`alloc`.
         self._free_set: set[int] = set(self._free)
         self._allocated: set[int] = set()
+        self._retired: set[int] = set()
         self.recovered_records = 0
         if recover:
             self.recover()
@@ -167,6 +169,19 @@ class PersistentPool:
         self._allocated.discard(addr)
         self._free.append(addr)
         self._free_set.add(addr)
+
+    def retire(self, addr: int) -> None:
+        """Permanently pull an object segment out of circulation (its media
+        exhausted verify-after-write's ECP capacity).  Accepts the address
+        whether currently free or allocated; idempotent."""
+        self._check_object_address(addr)
+        self._free_set.discard(addr)
+        self._allocated.discard(addr)
+        self._retired.add(addr)
+
+    def retired_addresses(self) -> set[int]:
+        """Every object address retired from this pool."""
+        return set(self._retired)
 
     def mark_allocated(self, addr: int) -> None:
         """Re-register an address as live after recovery (allocator state is
@@ -263,11 +278,18 @@ class PersistentPool:
             self._fire(
                 "recover.rollback",
                 payload_len=len(old),
-                payload_writer=lambda n, a=addr, o=old: self.controller.write(
-                    a, o[:n]
+                payload_writer=lambda n, a=addr, o=old: (
+                    self.controller.torn_program(a, o[:n])
                 ),
             )
-            self.controller.write(addr, old)
+            try:
+                self.controller.write(addr, old)
+            except SegmentRetiredError:
+                # The rollback write itself exhausted the segment: it was
+                # restoring a not-yet-committed value onto dying media.
+                # Retirement already bars the segment from placement; the
+                # rollback stays best-effort for it.
+                pass
         self._log_finish()
         self.recovered_records = len(records)
         return len(records)
@@ -319,7 +341,9 @@ class PersistentPool:
         self._fire(
             "tx.log",
             payload_len=len(payload),
-            payload_writer=lambda n: self._log_write(head, payload[:n]),
+            payload_writer=lambda n: self._log_write(
+                head, payload[:n], torn=True
+            ),
         )
         self._log_write(head, payload)
         # The valid byte is persisted only after the body and checksum.
@@ -342,7 +366,10 @@ class PersistentPool:
             records.append((addr, old))
             offset += _RECORD_HEADER.size + length + _RECORD_TRAILER
         for addr, old in reversed(records):
-            self.controller.write(addr, old)
+            try:
+                self.controller.write(addr, old)
+            except SegmentRetiredError:
+                pass  # best-effort restore onto just-retired media
 
     def _log_finish(self) -> None:
         """Clear the active flag; the log is logically empty."""
@@ -350,16 +377,20 @@ class PersistentPool:
         self._log_head = _LOG_HEADER_BYTES
         self._tx_active = False
 
-    def _log_write(self, offset: int, data: bytes) -> None:
-        """Segment-chunked write inside the log region."""
+    def _log_write(self, offset: int, data: bytes, torn: bool = False) -> None:
+        """Segment-chunked write inside the log region (``torn`` routes
+        through the crash-interrupted program path of the controller)."""
         if not data:
             return
+        write = (
+            self.controller.torn_program if torn else self.controller.write
+        )
         seg = self.controller.segment_size
         cursor = 0
         while cursor < len(data):
             room = seg - ((offset + cursor) % seg)
             chunk = data[cursor : cursor + room]
-            self.controller.write(offset + cursor, chunk)
+            write(offset + cursor, chunk)
             cursor += len(chunk)
 
     def _log_read(self, offset: int, length: int) -> bytes:

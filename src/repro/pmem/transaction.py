@@ -85,7 +85,7 @@ class Transaction:
         self._pool._fire(
             "tx.write",
             payload_len=len(data),
-            payload_writer=lambda n: self._pool.controller.write(
+            payload_writer=lambda n: self._pool.controller.torn_program(
                 addr, data[:n]
             ),
         )

@@ -25,11 +25,17 @@ _CRASH_SWEEP_NAMES = frozenset(
         "CrashSweepReport",
         "DEFAULT_CRASH_SITES",
         "DEFAULT_TORN_SITES",
+        "WEAROUT_CRASH_SITES",
+        "WL_CRASH_SITES",
+        "WL_TORN_SITES",
+        "WL_MODES",
         "KVCrashHarness",
+        "WearLevelingSweepReport",
         "apply_trace",
         "check_durable_invariants",
         "make_ycsb_trace",
         "run_crash_sweep",
+        "run_wear_leveling_crash_sweep",
     }
 )
 

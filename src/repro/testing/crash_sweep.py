@@ -30,10 +30,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import E2NVMConfig, fast_test_config
-from repro.core.kvstore import KVStore
+from repro.core.kvstore import KVStore, StoreReadOnlyError
 from repro.nvm.controller import MemoryController
-from repro.nvm.device import NVMDevice
+from repro.nvm.device import NVMDevice, WearOutConfig
+from repro.nvm.wear_leveling import (
+    SegmentSwapWearLeveling,
+    StartGapWearLeveling,
+)
 from repro.pmem.catalog import PersistentCatalog
 from repro.pmem.pool import PersistentPool
 from repro.testing.faults import CrashError, FaultInjector
@@ -41,16 +47,26 @@ from repro.util.rng import rng_from_seed
 from repro.workloads.ycsb import PrototypeValueGenerator
 from repro.workloads.zipfian import ScrambledZipfianGenerator
 
-#: Sites every sweep crashes at (each *k*-th firing of each).
+#: Sites every sweep crashes at (each *k*-th firing of each).  The
+#: wear-out sites (``device.stuck_at``, ``health.retire``,
+#: ``health.relocate``) fire only on a harness built with a
+#: :class:`~repro.nvm.device.WearOutConfig`; on an immortal device they
+#: count zero baseline hits and contribute no crash points.
 DEFAULT_CRASH_SITES = (
     "device.write",
     "tx.begin",
     "tx.log",
     "tx.write",
     "tx.commit",
+    "device.stuck_at",
+    "health.retire",
+    "health.relocate",
 )
 #: Write-capable sites additionally swept with torn-write variants.
 DEFAULT_TORN_SITES = ("tx.log", "tx.write")
+#: Subset of :data:`DEFAULT_CRASH_SITES` only a wear-out device can fire;
+#: on an immortal harness they count zero hits and contribute no points.
+WEAROUT_CRASH_SITES = ("device.stuck_at", "health.retire", "health.relocate")
 
 
 def make_ycsb_trace(
@@ -91,14 +107,25 @@ def make_ycsb_trace(
 def apply_trace(store: KVStore, trace, oracle: dict[bytes, bytes]) -> int:
     """Apply ``trace``, acknowledging each op into ``oracle`` only after the
     call returns.  Returns the number of acknowledged operations; a crash
-    propagates with the oracle still reflecting only acknowledged state."""
+    propagates with the oracle still reflecting only acknowledged state.
+
+    A wear-out degradation to read-only ends the trace early (the refused
+    op was never acknowledged, so the oracle stays exact); deterministic
+    replays degrade at the same op, keeping crash-point counting sound.
+    """
     acked = 0
     for op in trace:
         if op[0] == "put":
-            store.put(op[1], op[2])
+            try:
+                store.put(op[1], op[2])
+            except StoreReadOnlyError:
+                return acked
             oracle[op[1]] = op[2]
         elif op[0] == "delete":
-            store.delete(op[1])
+            try:
+                store.delete(op[1])
+            except StoreReadOnlyError:
+                return acked
             oracle.pop(op[1], None)
         elif op[0] == "get":
             got = store.get(op[1])
@@ -122,12 +149,17 @@ def check_durable_invariants(
     - recovered contents equal the acknowledged oracle exactly — no lost
       acknowledged PUT, no phantom un-acknowledged PUT, no resurrected
       DELETE;
-    - pool accounting exact: free ∪ allocated = all object segments, and
-      the two sets are disjoint;
-    - the DAP holds exactly the free addresses, each exactly once, and
-      every one of them has a clear validity flag in the catalog;
+    - pool accounting exact: free ∪ allocated ∪ retired = all object
+      segments, pairwise disjoint;
+    - the DAP holds exactly the placeable addresses — free minus the
+      quarantined set (retired/retiring segments, reserved spares) — each
+      exactly once, and every free address has a clear validity flag in
+      the catalog;
     - every allocated address carries a valid catalog record that agrees
       with the index.
+
+    On a store without a wear-out model the retired and quarantined sets
+    are empty and this reduces to the original contract.
     """
     pool, catalog = store.pool, store.catalog
     contents = dict(store.items())
@@ -143,15 +175,23 @@ def check_durable_invariants(
     }
     free = set(pool.free_addresses())
     allocated = pool.allocated_addresses()
-    assert free | allocated == all_objects, "pool accounting leaks segments"
+    retired = pool.retired_addresses()
+    assert free | allocated | retired == all_objects, (
+        "pool accounting leaks segments"
+    )
     assert not (free & allocated), "pool free/allocated sets overlap"
+    assert not (retired & (free | allocated)), (
+        "pool retired set overlaps free/allocated"
+    )
 
+    quarantined = store.engine.dap.quarantined()
+    placeable = free - quarantined
     dap_addrs = store.engine.dap.snapshot_addresses()
     assert len(dap_addrs) == len(set(dap_addrs)), "DAP holds duplicates"
-    assert set(dap_addrs) == free, (
-        "DAP addresses are not exactly the free segments"
+    assert set(dap_addrs) == placeable, (
+        "DAP addresses are not exactly the placeable free segments"
     )
-    assert set(store.engine.free_addresses()) == free, (
+    assert set(store.engine.free_addresses()) == placeable, (
         "engine allocator disagrees with pool"
     )
 
@@ -191,6 +231,8 @@ class KVCrashHarness:
         key_capacity: int = 16,
         seed: int = 7,
         config: E2NVMConfig | None = None,
+        wearout: WearOutConfig | None = None,
+        spares: int = 0,
     ) -> None:
         self.n_segments = n_segments
         self.segment_size = segment_size
@@ -198,9 +240,25 @@ class KVCrashHarness:
         self.key_capacity = key_capacity
         self.seed = seed
         self.config = config or fast_test_config()
+        self.spares = spares
         self.meta_segments = PersistentCatalog.meta_segments_for(
             n_segments, log_segments, segment_size, key_capacity
         )
+        if wearout is not None and wearout.immortal_prefix_segments == 0:
+            # The log and catalog regions must not wear out mid-sweep: a
+            # dead undo log is unrecoverable by design (real deployments
+            # over-provision these), so give the reserved prefix infinite
+            # endurance unless the caller chose otherwise.
+            wearout = WearOutConfig(
+                endurance_mean=wearout.endurance_mean,
+                endurance_sigma=wearout.endurance_sigma,
+                seed=wearout.seed,
+                ecp_entries=wearout.ecp_entries,
+                immortal_prefix_segments=(
+                    log_segments + self.meta_segments
+                ),
+            )
+        self.wearout = wearout
         _, _, store = self.fresh(FaultInjector())
         self.pipeline = store.engine.pipeline
 
@@ -211,6 +269,7 @@ class KVCrashHarness:
             initial_fill="random",
             seed=self.seed,
             faults=faults,
+            wearout=self.wearout,
         )
 
     def _pool(self, device, faults) -> PersistentPool:
@@ -232,6 +291,8 @@ class KVCrashHarness:
             key_capacity=self.key_capacity,
             pipeline=getattr(self, "pipeline", None),
         )
+        if self.spares:
+            store.engine.reserve_spares(self.spares)
         return device, pool, store
 
     def reopen(self, device: NVMDevice) -> KVStore:
@@ -333,4 +394,157 @@ def run_crash_sweep(
         if progress is not None:
             progress(label, report)
     report.clean_replays = len(points) - report.crash_points
+    return report
+
+
+# --------------------------------------------------------------------------
+# Wear-leveling crash sweep
+# --------------------------------------------------------------------------
+
+#: Sites the wear-leveling sweep crashes at: the start of every swap, every
+#: gap-style move, and every raw media program (the latter also with a torn
+#: variant, which is what exposes the legacy in-place exchange).
+WL_CRASH_SITES = ("wl.swap", "wl.gap_move", "device.program")
+WL_TORN_SITES = ("device.program",)
+
+#: Wear-leveling modes the sweep can build.
+WL_MODES = ("swap-legacy", "swap-scratch", "start-gap")
+
+
+@dataclass
+class WearLevelingSweepReport:
+    """Outcome of one wear-leveling crash sweep."""
+
+    mode: str
+    writes: int
+    site_hits: dict[str, int] = field(default_factory=dict)
+    crash_points: int = 0
+    torn_points: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def _make_leveler(mode: str, period: int, seed: int):
+    if mode == "swap-legacy":
+        return SegmentSwapWearLeveling(period, seed=seed)
+    if mode == "swap-scratch":
+        return SegmentSwapWearLeveling(period, seed=seed, scratch=True)
+    if mode == "start-gap":
+        return StartGapWearLeveling(period)
+    raise ValueError(f"unknown wear-leveling mode {mode!r}; pick from {WL_MODES}")
+
+
+def run_wear_leveling_crash_sweep(
+    mode: str = "swap-scratch",
+    *,
+    n_segments: int = 12,
+    segment_size: int = 32,
+    n_writes: int = 60,
+    period: int = 3,
+    seed: int = 11,
+    sites=WL_CRASH_SITES,
+    torn_sites=WL_TORN_SITES,
+    torn_fraction: float = 0.5,
+    progress=None,
+) -> WearLevelingSweepReport:
+    """Crash a wear-leveling workload at every copy/program point and check
+    that every *committed* logical segment survives recovery.
+
+    The remap table is modelled as hardware-persistent: a harness callback
+    snapshots ``mapping_state()`` at every ``on_mapping_commit``, and
+    recovery rebuilds a fresh leveler from the last committed snapshot over
+    the surviving device.  The contract checked is the device-level one —
+    a crash may corrupt *the segment being written* (transactional
+    durability above is the KV store's job) but must never corrupt any
+    other logical segment.  ``swap-scratch`` and ``start-gap`` pass it;
+    the legacy in-place exchange (``swap-legacy``) demonstrably does not
+    (a torn mid-swap program destroys the peer segment's committed data).
+    """
+    report = WearLevelingSweepReport(mode=mode, writes=n_writes)
+
+    def replay(faults):
+        """Run the workload; returns what survives a (possible) crash."""
+        device = NVMDevice(
+            capacity_bytes=n_segments * segment_size,
+            segment_size=segment_size,
+            initial_fill="random",
+            seed=seed,
+            faults=faults,
+        )
+        leveler = _make_leveler(mode, period, seed)
+        controller = MemoryController(device, wear_leveling=leveler)
+        committed = {"state": leveler.mapping_state()}
+        leveler.on_mapping_commit = lambda: committed.update(
+            state=leveler.mapping_state()
+        )
+        rng = rng_from_seed(seed + 1)
+        oracle: dict[int, bytes] = {}
+        pending: tuple[int, bytes] | None = None
+        crashed = False
+        try:
+            for _ in range(n_writes):
+                seg = int(rng.integers(0, controller.n_segments))
+                value = bytes(
+                    rng.integers(0, 256, segment_size, dtype=np.uint8)
+                )
+                pending = (seg, value)
+                controller.write(seg * segment_size, value)
+                oracle[seg] = value
+                pending = None
+        except CrashError:
+            crashed = True
+        return device, committed["state"], oracle, pending, crashed
+
+    def verify(device, state, oracle, pending, label):
+        """Recover from the committed mapping and check every committed
+        segment; the mid-write segment (if any) is exempt by contract."""
+        device.faults = None
+        leveler = _make_leveler(mode, period, seed)
+        controller = MemoryController(device, wear_leveling=leveler)
+        leveler.restore_mapping(state)
+        exempt = pending[0] if pending is not None else None
+        for seg, value in sorted(oracle.items()):
+            if seg == exempt:
+                continue
+            got = controller.read(seg * segment_size, segment_size)
+            if got != value:
+                report.failures.append(
+                    f"{label}: logical segment {seg} lost committed data"
+                )
+
+    # Baseline: count firings per site and sanity-check the clean run.
+    faults = FaultInjector()
+    device, state, oracle, pending, crashed = replay(faults)
+    assert not crashed and pending is None
+    report.site_hits = {site: faults.hits(site) for site in sites}
+    verify(device, state, oracle, None, "baseline")
+
+    points = [
+        (site, k, None)
+        for site in sites
+        for k in range(report.site_hits[site])
+    ]
+    points += [
+        (site, k, torn_fraction)
+        for site in torn_sites
+        for k in range(report.site_hits.get(site, 0))
+    ]
+    for site, k, tear in points:
+        label = f"{mode}:{site}#{k}" + ("+torn" if tear is not None else "")
+        faults = FaultInjector()
+        faults.arm(site, error=CrashError, after=k, times=1,
+                   torn_fraction=tear)
+        device, state, oracle, pending, crashed = replay(faults)
+        if not crashed:
+            report.failures.append(f"{label}: crash point never fired")
+            continue
+        report.crash_points += 1
+        if tear is not None:
+            report.torn_points += 1
+        verify(device, state, oracle, pending, label)
+        if progress is not None:
+            progress(label, report)
     return report
