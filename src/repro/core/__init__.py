@@ -14,7 +14,12 @@ from repro.core.address_pool import DynamicAddressPool, PoolExhaustedError
 from repro.core.batching import BatchLocator, WriteBatcher
 from repro.core.config import E2NVMConfig
 from repro.core.e2nvm import E2NVM
-from repro.core.kvstore import KVStore, StoreReadOnlyError
+from repro.core.kvstore import (
+    CorruptValueError,
+    KVStore,
+    RecoveryReport,
+    StoreReadOnlyError,
+)
 from repro.core.padding import Padder, PaddingPosition, PaddingStrategy
 from repro.core.pipeline import EncoderPipeline
 from repro.core.retraining import RetrainDecision, RetrainPolicy, RetrainStats
@@ -23,6 +28,8 @@ __all__ = [
     "E2NVM",
     "E2NVMConfig",
     "KVStore",
+    "CorruptValueError",
+    "RecoveryReport",
     "DynamicAddressPool",
     "PoolExhaustedError",
     "StoreReadOnlyError",

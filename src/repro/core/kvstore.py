@@ -29,6 +29,7 @@ The store runs in one of two modes:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from repro.core.address_pool import PoolExhaustedError
@@ -48,6 +49,17 @@ class StoreReadOnlyError(RuntimeError):
     committed data — but PUT/DELETE raise this error from here on."""
 
 
+class CorruptValueError(RuntimeError):
+    """A value failed its CRC32 check and could not be repaired.
+
+    The read path *never* returns bytes that disagree with the checksum
+    persisted alongside the value: on mismatch it first re-reads through
+    the ECP-corrected path, then (when a scrubber is attached) refresh-
+    writes the segment to heal resistance drift and re-reads — and only
+    when every repair avenue fails does this error surface, instead of
+    silently returning garbage."""
+
+
 @dataclass(frozen=True)
 class RecoveryReport:
     """What :meth:`KVStore.open` found and rebuilt from the media."""
@@ -57,6 +69,11 @@ class RecoveryReport:
     free_objects: int
     duplicate_keys_dropped: int
     max_epoch: int
+    #: Live values whose bytes disagreed with their catalog CRC32 during
+    #: the recovery scan (drift or undetected media damage); the values
+    #: stay in place — GET repairs them on demand or raises
+    #: :class:`CorruptValueError`, and an attached scrubber heals them.
+    crc_mismatches: int = 0
 
 
 class KVStore:
@@ -95,11 +112,22 @@ class KVStore:
         # relocation to find which key a retiring segment belongs to.
         self._by_addr: dict[int, bytes] = {}
         self._next_epoch = 1
+        # CRC32 of every live value, keyed by address — the DRAM mirror of
+        # the catalog's persisted checksum (and, in volatile mode, the only
+        # copy).  Every read is verified against it; see _read_value().
+        self._crc_by_addr: dict[int, int] = {}
         # Degraded mode: set when wear-out retirement exhausts the last
         # placement option; see :class:`StoreReadOnlyError`.
         self._read_only = False
         self._relocating = False
         self.recovery: RecoveryReport | None = None
+        # Optional background scrubber (repro.nvm.scrubber.Scrubber); when
+        # attached, the read path can refresh-write a drifted segment to
+        # repair a CRC mismatch instead of raising CorruptValueError.
+        self.scrubber = None
+        self.corrupt_reads_detected = 0
+        self.read_repairs = 0
+        self.corrupt_relocations_skipped = 0
 
     # ------------------------------------------------------- durable set-up
 
@@ -227,6 +255,7 @@ class KVStore:
             engine.train(addresses=free_addrs)
 
         store = cls(engine, index=index, pool=pool, catalog=catalog)
+        crc_mismatches = 0
         for key, entry in live.items():
             addr = live_addrs[key]
             engine.mark_allocated(addr)
@@ -234,6 +263,14 @@ class KVStore:
             store.index.put(key, (addr, entry.value_len))
             store._valid[addr] = True
             store._by_addr[addr] = key
+            store._crc_by_addr[addr] = entry.crc
+            # Recovery-time integrity scan: verify every live value against
+            # its persisted CRC.  Mismatches (resistance drift while the
+            # store was down, or media damage) are only *counted* here —
+            # the data stays put, and the read path repairs or refuses it.
+            value = pool.read(addr, entry.value_len)
+            if zlib.crc32(value) & 0xFFFFFFFF != entry.crc:
+                crc_mismatches += 1
         store._next_epoch = max_epoch + 1
 
         if health_state is not None:
@@ -256,6 +293,7 @@ class KVStore:
             free_objects=len(free_addrs),
             duplicate_keys_dropped=dropped,
             max_epoch=max_epoch,
+            crc_mismatches=crc_mismatches,
         )
         return store
 
@@ -347,12 +385,14 @@ class KVStore:
             self._enter_read_only(exc)
         self._valid[addr] = True
         self._by_addr[addr] = key
+        self._crc_by_addr[addr] = zlib.crc32(value) & 0xFFFFFFFF
         self.index.put(key, (addr, len(value)))
         if old is not None:
             # UPDATE: the previous location is recycled (Algorithm 2's path).
             old_addr, _ = old
             self._valid[old_addr] = False
             self._by_addr.pop(old_addr, None)
+            self._crc_by_addr.pop(old_addr, None)
             self._recycle_addr(old_addr)
         return addr
 
@@ -367,11 +407,13 @@ class KVStore:
             old = self.index.get(key)
             self._valid[addr] = True
             self._by_addr[addr] = key
+            self._crc_by_addr[addr] = zlib.crc32(value) & 0xFFFFFFFF
             self.index.put(key, (addr, len(value)))
             if old is not None:
                 old_addr, _ = old
                 self._valid[old_addr] = False
                 self._by_addr.pop(old_addr, None)
+                self._crc_by_addr.pop(old_addr, None)
                 stale.append(old_addr)
             addrs.append(addr)
         if stale:
@@ -462,13 +504,15 @@ class KVStore:
         """
         old = self.index.get(key)
         epoch = self._next_epoch
+        crc = zlib.crc32(value) & 0xFFFFFFFF
         try:
             if self.engine.faults is not None:
                 self.engine.faults.fire("device.write")
             with self.pool.transaction() as tx:
                 tx.write(addr, value)
                 self.catalog.tx_set(
-                    tx, self.pool.object_index(addr), key, len(value), epoch
+                    tx, self.pool.object_index(addr), key, len(value), epoch,
+                    crc=crc,
                 )
                 if old is not None:
                     self.catalog.tx_clear(
@@ -487,21 +531,96 @@ class KVStore:
         self._next_epoch = epoch + 1
         self._valid[addr] = True
         self._by_addr[addr] = key
+        self._crc_by_addr[addr] = crc
         self.index.put(key, (addr, len(value)))
         self.pool.mark_allocated(addr)
         if old is not None:
             old_addr, _ = old
             self._valid[old_addr] = False
             self._by_addr.pop(old_addr, None)
+            self._crc_by_addr.pop(old_addr, None)
             self._recycle_addr(old_addr)
 
     def get(self, key: bytes) -> bytes | None:
-        """Value for ``key``, or ``None`` when absent."""
-        entry = self.index.get(key)
-        if entry is None:
-            return None
-        addr, length = entry
-        return self.engine.controller.read(addr, length)
+        """Value for ``key``, or ``None`` when absent.
+
+        Every read is verified against the value's CRC32 (persisted in the
+        catalog record in durable mode); see :class:`CorruptValueError`
+        for the mismatch contract.
+
+        Raises:
+            CorruptValueError: the value failed its checksum and no repair
+                avenue (ECP-corrected re-read, scrubber refresh-write)
+                produced matching bytes.
+        """
+        return self._read_value(key)
+
+    def attach_scrubber(self, scrubber) -> None:
+        """Register a :class:`~repro.nvm.scrubber.Scrubber` so CRC-failed
+        reads can attempt a refresh-write repair before giving up."""
+        self.scrubber = scrubber
+
+    def _read_value(self, key: bytes) -> bytes | None:
+        """Read, verify and (if needed) repair the value of ``key``.
+
+        The read is raced against concurrent relocation/update of the same
+        key: after the media read, the index entry and validity flag are
+        re-checked, and the read retries when the value moved mid-flight
+        (the read-after-retire window of background evacuation).  A CRC
+        mismatch on a stable entry goes through the repair ladder —
+        ECP-corrected re-read, then scrubber refresh-write — and raises
+        :class:`CorruptValueError` when nothing restores matching bytes.
+        """
+        for _ in range(16):
+            entry = self.index.get(key)
+            if entry is None:
+                return None
+            addr, length = entry
+            value = self.engine.controller.read(addr, length)
+            if self.index.get(key) != entry or not self._valid.get(addr):
+                continue  # moved mid-read (relocation/update); retry
+            expected = self._crc_by_addr.get(addr)
+            if expected is None:
+                return value  # no checksum on record (engine-level write)
+            if zlib.crc32(value) & 0xFFFFFFFF == expected:
+                return value
+            repaired = self._attempt_repair(key, addr, length, expected)
+            if repaired is not None:
+                return repaired
+            raise CorruptValueError(
+                f"value of key {key!r} at address {addr} fails its CRC32 "
+                "and could not be repaired"
+            )
+        raise RuntimeError(
+            f"read of key {key!r} kept racing concurrent relocation"
+        )
+
+    def _attempt_repair(
+        self, key: bytes, addr: int, length: int, expected: int
+    ) -> bytes | None:
+        """The repair ladder for a CRC-failed read.
+
+        1. Re-read through the ECP-corrected path — catches corrections
+           recorded between our first read and the verify.
+        2. With a scrubber attached: refresh-write the segment (healing
+           resistance drift *persistently* — the margin read recovers the
+           true charge and the rewrite re-programs it), then re-read.
+
+        Returns the repaired bytes, or ``None`` when the value really is
+        lost (the caller raises :class:`CorruptValueError`).
+        """
+        self.corrupt_reads_detected += 1
+        value = self.engine.controller.read(addr, length)
+        if zlib.crc32(value) & 0xFFFFFFFF == expected:
+            self.read_repairs += 1
+            return value
+        if self.scrubber is not None:
+            self.scrubber.scrub_segment(addr // self.engine.segment_size)
+            value = self.engine.controller.read(addr, length)
+            if zlib.crc32(value) & 0xFFFFFFFF == expected:
+                self.read_repairs += 1
+                return value
+        return None
 
     def delete(self, key: bytes) -> bool:
         """Algorithm 2: unlink, reset the flag, recycle the address."""
@@ -518,6 +637,7 @@ class KVStore:
         self.index.delete(key)
         self._valid[addr] = False
         self._by_addr.pop(addr, None)
+        self._crc_by_addr.pop(addr, None)
         self._recycle_addr(addr)
         return True
 
@@ -580,7 +700,18 @@ class KVStore:
                 if entry is None or entry[0] != addr:
                     continue
                 health.fire_relocate()
-                value = self.engine.controller.read(addr, entry[1])
+                try:
+                    value = self._read_value(key)
+                except CorruptValueError:
+                    # Unrepairable value on the dying segment: leave it in
+                    # place (GET keeps refusing it explicitly) rather than
+                    # relocating garbage under a now-wrong checksum, and
+                    # don't re-queue — retrying cannot make the bytes come
+                    # back.
+                    self.corrupt_relocations_skipped += 1
+                    continue
+                if value is None:
+                    continue  # deleted while we were looking at it
                 try:
                     self.put(key, value)
                 except StoreReadOnlyError:
@@ -595,14 +726,18 @@ class KVStore:
     def scan(self, start_key: bytes, end_key: bytes) -> list[tuple[bytes, bytes]]:
         """All (key, value) pairs with start_key <= key <= end_key, in order."""
         out = []
-        for key, (addr, length) in self.index.range(start_key, end_key):
-            out.append((key, self.engine.controller.read(addr, length)))
+        for key, _ in self.index.range(start_key, end_key):
+            value = self._read_value(key)
+            if value is not None:
+                out.append((key, value))
         return out
 
     def items(self):
-        """Yield every (key, value) pair in key order."""
-        for key, (addr, length) in self.index.items():
-            yield key, self.engine.controller.read(addr, length)
+        """Yield every (key, value) pair in key order (CRC-verified)."""
+        for key, _ in self.index.items():
+            value = self._read_value(key)
+            if value is not None:
+                yield key, value
 
     def keys(self):
         """Yield every key in order."""

@@ -17,9 +17,17 @@ the paper:
 - :mod:`repro.nvm.ecc` / :mod:`repro.nvm.health` — Error-Correcting
   Pointers (stuck-cell substitution) and segment retirement/spare-capacity
   management for the endurance-exhaustion fault model.
+- :mod:`repro.nvm.scrubber` — the background retention scrubber that
+  detects and refresh-writes resistance-drifted cells (the read-side
+  fault model enabled by :class:`~repro.nvm.device.DriftConfig`).
 """
 
-from repro.nvm.device import NVMDevice, WearOutConfig, WriteResult
+from repro.nvm.device import (
+    DriftConfig,
+    NVMDevice,
+    WearOutConfig,
+    WriteResult,
+)
 from repro.nvm.ecc import ErrorCorrectingPointers
 from repro.nvm.energy import EnergyModel
 from repro.nvm.health import HealthManager, HealthState, SegmentRetiredError
@@ -31,8 +39,10 @@ from repro.nvm.wear_leveling import (
     StartGapWearLeveling,
 )
 from repro.nvm.controller import MemoryController
+from repro.nvm.scrubber import ScrubStats, Scrubber
 
 __all__ = [
+    "DriftConfig",
     "NVMDevice",
     "WearOutConfig",
     "WriteResult",
@@ -45,6 +55,8 @@ __all__ = [
     "MemoryController",
     "NoWearLeveling",
     "SegmentRetiredError",
+    "ScrubStats",
+    "Scrubber",
     "SegmentSwapWearLeveling",
     "StartGapWearLeveling",
 ]

@@ -33,6 +33,7 @@ from repro.baselines.dcw import DCW
 from repro.nvm.device import NVMDevice, WriteResult
 from repro.nvm.health import HealthManager, SegmentRetiredError
 from repro.nvm.wear_leveling import NoWearLeveling
+from repro.util.bits import popcount_array
 
 
 class MemoryController:
@@ -233,11 +234,51 @@ class MemoryController:
 
     def read(self, logical_addr: int, length: int) -> bytes:
         """Read ``length`` logical bytes from ``logical_addr`` (patched
-        through the ECP table when verification is enabled)."""
+        through the ECP table when verification is enabled).
+
+        ECP patching is *transient*: the stuck cells it papers over are
+        physically unwritable, so there is nothing to persist back.  Drift
+        damage, by contrast, IS repairable — :meth:`refresh` (used by the
+        scrubber and the KV store's read-repair path) rewrites a range so
+        corrections stick on the media instead of being re-paid per read.
+        """
         phys_addr, _ = self._map(logical_addr, length)
         stored = self.device.read_array(phys_addr, length)
         stored = self._corrected(phys_addr, stored)
         return self.scheme.decode(logical_addr, stored).tobytes()
+
+    def refresh(self, logical_addr: int, length: int) -> int:
+        """Persistently heal a range: margin-read the true stored content
+        past any resistance drift and rewrite it through the normal write
+        path (scheme + verify + accounting — refresh is a real write and
+        costs real energy/wear).
+
+        Drifted cells sense flipped, so ``true = sensed XOR drift_mask``;
+        ECP-patched stuck cells never drift, so the two corrections
+        compose.  The rewrite force-pulses every drifted cell in range
+        (see :meth:`NVMDevice.program`), clearing its drift and restarting
+        its retention timer.  Returns the number of drifted cells healed.
+
+        Raises:
+            SegmentRetiredError: the verify path retired the segment
+                mid-refresh; the caller must relocate the data instead.
+        """
+        phys_addr, _ = self._map(logical_addr, length)
+        dmask = self.device.drift_mask(phys_addr, length)
+        sensed = self.device.read_array(phys_addr, length)
+        stored = np.bitwise_xor(sensed, dmask)
+        stored = self._corrected(phys_addr, stored)
+        logical = np.asarray(
+            self.scheme.decode(logical_addr, stored), dtype=np.uint8
+        )
+        self.write(logical_addr, logical)
+        return popcount_array(dmask)
+
+    def drift_mask(self, logical_addr: int, length: int) -> np.ndarray:
+        """Packed drifted-bit flags for a logical range (the device's
+        margin read, remapped through wear leveling)."""
+        phys_addr, _ = self._map(logical_addr, length)
+        return self.device.drift_mask(phys_addr, length)
 
     def peek(self, logical_addr: int, length: int) -> np.ndarray:
         """Unaccounted decoded read (tooling/tests/model training snapshots)."""

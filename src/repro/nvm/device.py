@@ -26,6 +26,18 @@ stuck value.  The device then also carries an
 :class:`~repro.nvm.health.HealthState` (both persisted by
 :meth:`NVMDevice.save`); the controller's verify-after-write path uses them
 to detect, correct and eventually retire failing segments.
+
+With a :class:`DriftConfig` the device models the *read-side* failure mode:
+resistance drift.  Every cell draws a seeded time-to-drift budget (lognormal,
+optionally shortened by that cell's accumulated wear); a logical retention
+clock is advanced by :meth:`NVMDevice.advance_time`.  A cell whose last
+program is older than its budget *drifts*: reads sense its bit flipped until
+some write re-programs it (any program pulse to a drifted cell restores it
+and resets its timer — the device force-pulses drifted cells inside every
+written range, so refresh cost shows up honestly in wear/energy accounting).
+The true stored charge is never lost to drift in this model, only mis-sensed;
+``sensed = content XOR drift_mask`` and a scrubber can recover the original
+by rewriting ``sensed XOR drift_mask``.
 """
 
 from __future__ import annotations
@@ -73,6 +85,35 @@ class WearOutConfig:
 
 
 @dataclass(frozen=True)
+class DriftConfig:
+    """Resistance-drift (retention) model parameters.
+
+    Attributes:
+        retention_mean: median time-to-drift in clock ticks after a cell's
+            last program (real PCM retention is hours-to-years; tests use
+            tiny values as accelerated retention loss).
+        retention_sigma: sigma of the lognormal cell-to-cell retention
+            variation — the tail cells that drift far earlier than the
+            median are the reason scrubbing must outpace the *minimum*
+            budget, not the mean.
+        seed: RNG seed for drawing the per-cell budgets.
+        wear_scale: wear acceleration factor; a cell's effective budget is
+            ``base / (1 + wear_scale * program_cycles)``, so heavily worn
+            cells drift faster (matching PCM's degraded retention near
+            end-of-life).  ``0`` disables the coupling.
+        immortal_prefix_segments: leading segments exempt from drift (the
+            persistent pool's log/catalog region, same convention as
+            :class:`WearOutConfig`).
+    """
+
+    retention_mean: float = 1e6
+    retention_sigma: float = 0.3
+    seed: int = 0
+    wear_scale: float = 0.0
+    immortal_prefix_segments: int = 0
+
+
+@dataclass(frozen=True)
 class WriteResult:
     """Outcome of one media write."""
 
@@ -109,6 +150,10 @@ class NVMDevice:
         wearout: optional :class:`WearOutConfig` enabling the endurance
             exhaustion model (per-cell budgets, stuck-at failure, an ECP
             table on ``self.ecc`` and health state on ``self.health``).
+        drift: optional :class:`DriftConfig` enabling the resistance-drift
+            retention model (per-cell time-to-drift budgets, a logical
+            clock advanced by :meth:`advance_time`, flipped reads of
+            drifted cells, and a ``"device.drift_flip"`` fault site).
     """
 
     def __init__(
@@ -122,6 +167,7 @@ class NVMDevice:
         seed: int | np.random.Generator | None = None,
         faults=None,
         wearout: WearOutConfig | None = None,
+        drift: DriftConfig | None = None,
     ) -> None:
         if segment_size <= 0:
             raise ValueError("segment_size must be positive")
@@ -160,6 +206,14 @@ class NVMDevice:
         if wearout is not None:
             self._init_wearout(wearout)
 
+        self.drift = drift
+        self._drift_budget: np.ndarray | None = None
+        self._last_program_tick: np.ndarray | None = None
+        self._drift_packed: np.ndarray | None = None
+        self._clock = 0
+        if drift is not None:
+            self._init_drift(drift)
+
     def _init_wearout(self, cfg: WearOutConfig) -> None:
         if cfg.endurance_mean < 1:
             raise ValueError("endurance_mean must be at least 1")
@@ -182,6 +236,27 @@ class NVMDevice:
             self.segment_size, cfg.ecp_entries
         )
         self.health = HealthState()
+
+    def _init_drift(self, cfg: DriftConfig) -> None:
+        if cfg.retention_mean < 1:
+            raise ValueError("retention_mean must be at least 1")
+        if cfg.wear_scale < 0:
+            raise ValueError("wear_scale must be non-negative")
+        if not 0 <= cfg.immortal_prefix_segments <= self.n_segments:
+            raise ValueError("immortal_prefix_segments out of range")
+        n_bits = self.capacity_bytes * 8
+        rng = rng_from_seed(cfg.seed)
+        budgets = rng.lognormal(
+            mean=math.log(cfg.retention_mean),
+            sigma=cfg.retention_sigma,
+            size=n_bits,
+        )
+        self._drift_budget = np.maximum(budgets, 1.0).astype(np.int64)
+        immortal = cfg.immortal_prefix_segments * self.segment_size * 8
+        if immortal:
+            self._drift_budget[:immortal] = _IMMORTAL_BUDGET
+        self._last_program_tick = np.zeros(n_bits, dtype=np.int64)
+        self._drift_packed = np.zeros(self.capacity_bytes, dtype=np.uint8)
 
     @property
     def n_segments(self) -> int:
@@ -207,13 +282,22 @@ class NVMDevice:
         return arr.tobytes()
 
     def read_array(self, addr: int, length: int) -> np.ndarray:
-        """Read ``length`` bytes as a fresh ``uint8`` array (accounted)."""
+        """Read ``length`` bytes as a fresh ``uint8`` array (accounted).
+
+        With a drift model the returned bytes are the *sensed* content:
+        drifted cells read back flipped until some write re-programs them.
+        """
         self._check_range(addr, length)
         self.stats.reads += 1
         self.stats.bytes_read += length
         self.stats.read_energy_pj += self.energy_model.read_energy(length)
         self.stats.read_latency_ns += self.latency_model.read_latency(length)
-        return self._content[addr : addr + length].copy()
+        out = self._content[addr : addr + length].copy()
+        if self._drift_packed is not None:
+            np.bitwise_xor(
+                out, self._drift_packed[addr : addr + length], out=out
+            )
+        return out
 
     def read_arrays(self, addrs, length: int) -> np.ndarray:
         """Read ``length`` bytes at each address as a ``(B, length)`` array.
@@ -231,17 +315,30 @@ class NVMDevice:
         self.stats.read_latency_ns += n * self.latency_model.read_latency(
             length
         )
-        return self._content[addrs[:, None] + np.arange(length)]
+        idx = addrs[:, None] + np.arange(length)
+        out = self._content[idx]
+        if self._drift_packed is not None:
+            np.bitwise_xor(out, self._drift_packed[idx], out=out)
+        return out
 
     def peek(self, addr: int, length: int) -> np.ndarray:
-        """Inspect media content without accounting (for tooling/tests)."""
+        """Inspect media content without accounting (for tooling/tests).
+
+        Like all reads this senses drifted cells flipped — a peek models a
+        margin-less array read, not access to the true stored charge.
+        """
         self._check_range(addr, length)
-        return self._content[addr : addr + length].copy()
+        out = self._content[addr : addr + length].copy()
+        if self._drift_packed is not None:
+            np.bitwise_xor(
+                out, self._drift_packed[addr : addr + length], out=out
+            )
+        return out
 
     def peek_segment(self, index: int) -> np.ndarray:
         """Inspect one segment's content without accounting."""
         addr = self.segment_address(index)
-        return self._content[addr : addr + self.segment_size].copy()
+        return self.peek(addr, self.segment_size)
 
     # ----------------------------------------------------------------- writes
 
@@ -275,6 +372,15 @@ class NVMDevice:
             mask = self._as_u8(program_mask)
             if mask.size != length:
                 raise ValueError("program_mask length must match data length")
+        if self._drift_packed is not None:
+            # Any write refreshes drifted cells in its range: schemes plan
+            # masks against *sensed* old content, so a drifted cell whose
+            # sensed value happens to match the target would otherwise be
+            # skipped and keep its stale true charge.  The extra pulses are
+            # charged to wear/energy — refresh is not free.
+            mask = np.bitwise_or(
+                mask, self._drift_packed[addr : addr + length]
+            )
 
         if self.faults is not None:
             # A torn write persists only the first n programmed bytes; no
@@ -390,6 +496,9 @@ class NVMDevice:
         )
 
         idx = addrs[:, None] + np.arange(length)
+        if self._drift_packed is not None:
+            # Force-pulse drifted cells in every written row (see program()).
+            masks = np.bitwise_or(masks, self._drift_packed[idx])
         old = self._content[idx].copy()
         # Capture the pre-call stuck state: rows never overlap, so per-row
         # flip accounting matches a sequential loop exactly.
@@ -420,6 +529,15 @@ class NVMDevice:
                 np.bitwise_and(old, np.bitwise_not(eff_masks)),
                 np.bitwise_and(new, eff_masks),
             )
+            if self._drift_packed is not None:
+                self._drift_packed[idx] = np.bitwise_and(
+                    self._drift_packed[idx], np.bitwise_not(eff_masks)
+                )
+                rows, cols = np.nonzero(np.unpackbits(eff_masks, axis=1))
+                if rows.size:
+                    self._last_program_tick[addrs[rows] * 8 + cols] = (
+                        self._clock
+                    )
             if self._wear_count is not None:
                 for i in range(n_rows):
                     self._note_wear(int(addrs[i]), masks[i])
@@ -539,6 +657,76 @@ class NVMDevice:
             )
         return int(fresh.size)
 
+    # ------------------------------------------------------------------ drift
+
+    @property
+    def clock(self) -> int:
+        """Logical retention clock (ticks since device creation)."""
+        return self._clock
+
+    def advance_time(self, ticks: int) -> int:
+        """Advance the retention clock and drift every cell whose last
+        program is now older than its (wear-scaled) retention budget.
+
+        Drifted cells sense flipped on every read until a write pulses
+        them; the true stored charge is untouched.  Fires
+        ``"device.drift_flip"`` once per call that drifts at least one new
+        cell.  Returns the number of newly drifted cells.  Requires a
+        drift model.
+        """
+        if self.drift is None:
+            raise RuntimeError("device was created without a drift model")
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        self._clock += ticks
+        age = self._clock - self._last_program_tick
+        due = np.flatnonzero(age >= self._effective_drift_budget())
+        if self._stuck_packed is not None and due.size:
+            # Stuck cells are frozen charge — they neither drift nor heal.
+            stuck = (self._stuck_packed[due // 8] >> (7 - due % 8)) & 1
+            due = due[stuck == 0]
+        already = (self._drift_packed[due // 8] >> (7 - due % 8)) & 1
+        fresh = due[already == 0]
+        if fresh.size:
+            np.bitwise_or.at(
+                self._drift_packed,
+                fresh // 8,
+                (0x80 >> (fresh % 8)).astype(np.uint8),
+            )
+            if self.faults is not None:
+                self.faults.fire("device.drift_flip")
+        return int(fresh.size)
+
+    def _effective_drift_budget(self) -> np.ndarray:
+        """Per-cell retention budget after wear acceleration."""
+        base = self._drift_budget
+        scale = self.drift.wear_scale
+        if scale <= 0:
+            return base
+        wear = self._wear_count if self._wear_count is not None \
+            else self._bit_wear
+        if wear is None:
+            return base
+        return np.maximum(base / (1.0 + scale * wear), 1.0)
+
+    def drift_mask(self, addr: int, length: int) -> np.ndarray:
+        """Packed per-bit drifted flags for ``[addr, addr + length)``.
+
+        This is the device's *margin read*: a slow sensing mode real PCM
+        controllers use during scrubbing to tell drifted cells apart from
+        healthy ones.  All-zero without a drift model.
+        """
+        if self._drift_packed is None:
+            return np.zeros(length, dtype=np.uint8)
+        self._check_range(addr, length)
+        return self._drift_packed[addr : addr + length].copy()
+
+    def drifted_cell_count(self) -> int:
+        """Cells currently sensing flipped (0 without a drift model)."""
+        if self._drift_packed is None:
+            return 0
+        return popcount_array(self._drift_packed)
+
     def stuck_cell_count(self) -> int:
         """Cells permanently stuck at their current value (0 without a
         wear-out model)."""
@@ -639,6 +827,21 @@ class NVMDevice:
             arrays["health_retired"] = np.asarray(retired, dtype=np.int64)
             arrays["health_retiring"] = np.asarray(retiring, dtype=np.int64)
             arrays["health_spares"] = np.asarray(spares, dtype=np.int64)
+        if self.drift is not None:
+            cfg = self.drift
+            arrays["drift_params"] = np.array(
+                [
+                    cfg.retention_mean,
+                    cfg.retention_sigma,
+                    float(cfg.seed),
+                    cfg.wear_scale,
+                    float(cfg.immortal_prefix_segments),
+                ]
+            )
+            arrays["drift_budget"] = self._drift_budget
+            arrays["drift_last_program"] = self._last_program_tick
+            arrays["drift_packed"] = self._drift_packed
+            arrays["drift_clock"] = np.array([self._clock], dtype=np.int64)
         np.savez_compressed(path, **arrays)
 
     @classmethod
@@ -663,6 +866,18 @@ class NVMDevice:
                     ecp_entries=int(entries),
                     immortal_prefix_segments=int(immortal),
                 )
+            drift = None
+            if "drift_params" in archive:
+                mean, sigma, seed, wear_scale, immortal = archive[
+                    "drift_params"
+                ]
+                drift = DriftConfig(
+                    retention_mean=float(mean),
+                    retention_sigma=float(sigma),
+                    seed=int(seed),
+                    wear_scale=float(wear_scale),
+                    immortal_prefix_segments=int(immortal),
+                )
             device = cls(
                 capacity_bytes=capacity,
                 segment_size=segment_size,
@@ -670,6 +885,7 @@ class NVMDevice:
                 latency_model=latency_model,
                 track_bit_wear="bit_wear" in archive,
                 wearout=wearout,
+                drift=drift,
             )
             device._content[:] = archive["content"]
             device.segment_write_count[:] = archive["segment_write_count"]
@@ -692,6 +908,13 @@ class NVMDevice:
                     archive["health_retiring"],
                     archive["health_spares"],
                 )
+            if drift is not None:
+                # Restore the exact budgets, timers, clock and drifted set
+                # — a reopened device must keep sensing the same flips.
+                device._drift_budget[:] = archive["drift_budget"]
+                device._last_program_tick[:] = archive["drift_last_program"]
+                device._drift_packed[:] = archive["drift_packed"]
+                device._clock = int(archive["drift_clock"][0])
         return device
 
     # -------------------------------------------------------------- internals
@@ -717,6 +940,15 @@ class NVMDevice:
             np.bitwise_and(old, np.bitwise_not(mask)),
             np.bitwise_and(new, mask),
         )
+        if self._drift_packed is not None:
+            # An effective pulse restores a drifted cell and restarts its
+            # retention timer (stuck cells were stripped above and never
+            # drift in the first place).
+            region = self._drift_packed[addr : addr + new.size]
+            np.bitwise_and(region, np.bitwise_not(mask), out=region)
+            positions = addr * 8 + np.flatnonzero(np.unpackbits(mask))
+            if positions.size:
+                self._last_program_tick[positions] = self._clock
 
     def _dirty_lines(self, addr: int, mask: np.ndarray) -> int:
         line = self.energy_model.cache_line_bytes

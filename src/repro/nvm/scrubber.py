@@ -1,0 +1,278 @@
+"""Background retention scrubber: the read-side mirror of verify-after-write.
+
+Resistance drift corrupts data *at rest* — a value written correctly decays
+into flipped bits long after the write verified clean.  Real PCM systems
+run a scrub loop that margin-reads cells, detects drifted ones and
+re-programs them before enough accumulate to defeat correction (DATACON's
+periodic refresh, SoftWear's software-only media management).  This module
+is that loop for the simulated store:
+
+- :meth:`Scrubber.scrub_segment` margin-reads one live segment
+  (``controller.drift_mask``), refresh-writes the true content back through
+  the normal DCW write path (:meth:`MemoryController.refresh`) — so scrub
+  cost lands in the same energy/endurance accounting as any other write —
+  and verifies the healed value against its catalog CRC;
+- :meth:`Scrubber.scrub_round` walks live segments in wear/age-priority
+  order (most-worn, least-recently-scrubbed first), bounded by
+  ``segments_per_round`` — the *rate limit* that keeps scrub bandwidth from
+  starving foreground traffic;
+- :meth:`Scrubber.start` runs rounds on a single-flight, pause/resume-able,
+  exception-safe background worker modeled on the engine's retraining
+  worker: a failing round is counted and the worker keeps going, and
+  ``pause()``/``resume()`` gate the loop without killing the thread;
+- repeat offenders — segments that keep accumulating drift, or whose value
+  stays CRC-broken after a refresh — are escalated to
+  ``HealthManager.queue_relocation`` so the store evacuates them onto
+  healthier media.
+
+The scrubber is duck-typed over the store (index/validity mirrors and the
+catalog CRC map) to keep the ``nvm`` layer import-free of ``core``.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+
+from repro.nvm.health import SegmentRetiredError
+from repro.util.bits import popcount_array
+
+
+@dataclass
+class ScrubStats:
+    """Cumulative scrubber telemetry (see :meth:`Scrubber.telemetry`)."""
+
+    rounds: int = 0
+    segments_scanned: int = 0
+    bits_healed: int = 0
+    refresh_writes: int = 0
+    corruptions_found: int = 0
+    escalations: int = 0
+    worker_errors: int = 0
+    #: Live segments the last round could *not* reach under its rate
+    #: limit — a growing backlog means scrub bandwidth is undersized for
+    #: the drift rate.
+    backlog: int = 0
+
+
+class Scrubber:
+    """Rate-limited background scrub worker over a :class:`KVStore`.
+
+    Args:
+        store: the KV store whose live segments to scrub; the scrubber
+            registers itself via ``store.attach_scrubber`` so CRC-failed
+            reads can request a targeted synchronous scrub.
+        segments_per_round: rate limit — live segments refreshed per round.
+        interval_s: sleep between background rounds.
+        escalate_after: a segment found drifted in this many *consecutive*
+            scrubs is escalated to ``HealthManager.queue_relocation``
+            (repeat offenders are decaying faster than scrub can cheaply
+            keep up; moving the value is the durable fix).
+        faults: optional fault injector; when set, the write-capable
+            ``"scrub.refresh"`` site fires before every refresh write.
+            Defaults to the device's injector.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        segments_per_round: int = 8,
+        interval_s: float = 0.005,
+        escalate_after: int = 3,
+        faults=None,
+    ) -> None:
+        if segments_per_round <= 0:
+            raise ValueError("segments_per_round must be positive")
+        if escalate_after <= 0:
+            raise ValueError("escalate_after must be positive")
+        self.store = store
+        self.controller = store.engine.controller
+        self.device = self.controller.device
+        self.segments_per_round = segments_per_round
+        self.interval_s = interval_s
+        self.escalate_after = escalate_after
+        self.faults = faults if faults is not None else self.device.faults
+        self.stats = ScrubStats()
+        self.last_error: BaseException | None = None
+        self._admin_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._resume = threading.Event()
+        self._resume.set()
+        # Scrub-order bookkeeping: per-segment "last scrubbed" round
+        # counter and consecutive-drifty-scrub counts for escalation.
+        self._round_counter = 0
+        self._last_scrubbed: dict[int, int] = {}
+        self._dirty_streak: dict[int, int] = {}
+        store.attach_scrubber(self)
+
+    # ------------------------------------------------------------- scrubbing
+
+    def scrub_segment(self, segment: int) -> int:
+        """Scrub one live segment: margin-read its drift, refresh-write the
+        true content, verify the healed value against its CRC.  Returns
+        the number of drifted bits healed (0 when the segment is no longer
+        live or holds no drift *and* needs no verification).
+
+        Safe against concurrent PUT/relocation: liveness is re-checked
+        from the store's mirrors, and refreshing a segment that was freed
+        mid-flight merely rewrites bytes nobody reads.
+        """
+        addr = segment * self.controller.segment_size
+        key = self.store._by_addr.get(addr)
+        if key is None:
+            return 0
+        entry = self.store.index.get(key)
+        if entry is None or entry[0] != addr:
+            return 0
+        length = entry[1]
+        drifted = popcount_array(self.controller.drift_mask(addr, length))
+        if self.faults is not None:
+            self.faults.fire("scrub.refresh")
+        try:
+            healed = self.controller.refresh(addr, length)
+        except SegmentRetiredError:
+            # The refresh write itself retired the segment (its ECP ran
+            # out): the value stays readable in place; hand it to the
+            # relocation queue and move on.
+            self._escalate(segment)
+            return 0
+        self.stats.refresh_writes += 1
+        self.stats.bits_healed += healed
+
+        expected = self.store._crc_by_addr.get(addr)
+        if expected is not None:
+            value = self.controller.read(addr, length)
+            if zlib.crc32(value) & 0xFFFFFFFF != expected:
+                # Refresh could not restore the recorded bytes: real
+                # corruption, not drift.  Count it and escalate — reads of
+                # this key will raise CorruptValueError.
+                self.stats.corruptions_found += 1
+                self._escalate(segment)
+
+        streak = self._dirty_streak.get(segment, 0) + 1 if drifted else 0
+        self._dirty_streak[segment] = streak
+        if streak >= self.escalate_after:
+            self._dirty_streak[segment] = 0
+            self._escalate(segment)
+        return healed
+
+    def scrub_round(self) -> dict:
+        """One rate-limited pass: scrub up to ``segments_per_round`` live
+        segments in wear/age-priority order.  Returns a summary dict."""
+        self._round_counter += 1
+        live = [
+            addr // self.controller.segment_size
+            for addr, key in list(self.store._by_addr.items())
+            if key is not None
+        ]
+        wear = self.device.segment_write_count
+        # Least-recently-scrubbed first; ties broken toward the most worn
+        # segment (wear accelerates drift), then by index for determinism.
+        live.sort(
+            key=lambda seg: (
+                self._last_scrubbed.get(seg, -1),
+                -int(wear[seg]),
+                seg,
+            )
+        )
+        chosen = live[: self.segments_per_round]
+        healed = 0
+        for seg in chosen:
+            healed += self.scrub_segment(seg)
+            self._last_scrubbed[seg] = self._round_counter
+            self.stats.segments_scanned += 1
+        self.stats.rounds += 1
+        self.stats.backlog = len(live) - len(chosen)
+        return {
+            "round": self._round_counter,
+            "segments_scrubbed": len(chosen),
+            "bits_healed": healed,
+            "backlog": self.stats.backlog,
+        }
+
+    def _escalate(self, segment: int) -> None:
+        health = self.controller.health_manager
+        if health is None:
+            return
+        health.queue_relocation(segment)
+        self.stats.escalations += 1
+
+    # ------------------------------------------------------- background loop
+
+    def start(self) -> threading.Thread:
+        """Start the single-flight background worker (idempotent: a
+        running worker's thread is returned instead of starting another).
+        """
+        with self._admin_lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self._thread
+            self._stop.clear()
+            # A pause() issued before start() is honoured: the worker
+            # comes up gated until resume().
+            self._thread = threading.Thread(
+                target=self._worker, daemon=True, name="scrubber"
+            )
+            self._thread.start()
+            return self._thread
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Stop the background worker and join it."""
+        with self._admin_lock:
+            thread = self._thread
+            self._stop.set()
+            self._resume.set()  # unblock a paused worker so it can exit
+        if thread is not None:
+            thread.join(timeout)
+
+    def pause(self) -> None:
+        """Gate the worker: at most the in-flight round completes, then the
+        loop blocks until :meth:`resume` (the thread stays alive)."""
+        self._resume.clear()
+
+    def resume(self) -> None:
+        """Lift a :meth:`pause`."""
+        self._resume.set()
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def paused(self) -> bool:
+        return not self._resume.is_set()
+
+    def _worker(self) -> None:
+        """Exception-safe scrub loop: a failing round is recorded on the
+        stats (``worker_errors``/``last_error``) and the loop keeps going —
+        scrubbing is maintenance, it must never take the store down."""
+        while not self._stop.is_set():
+            self._resume.wait()
+            if self._stop.is_set():
+                return
+            try:
+                self.scrub_round()
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                self.stats.worker_errors += 1
+                self.last_error = exc
+            self._stop.wait(self.interval_s)
+
+    # ------------------------------------------------------------- telemetry
+
+    def telemetry(self) -> dict:
+        """Cumulative scrub counters plus worker state."""
+        return {
+            "rounds": self.stats.rounds,
+            "segments_scanned": self.stats.segments_scanned,
+            "bits_healed": self.stats.bits_healed,
+            "refresh_writes": self.stats.refresh_writes,
+            "corruptions_found": self.stats.corruptions_found,
+            "escalations": self.stats.escalations,
+            "worker_errors": self.stats.worker_errors,
+            "backlog": self.stats.backlog,
+            "running": self.running,
+            "paused": self.paused,
+        }

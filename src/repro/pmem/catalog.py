@@ -8,7 +8,8 @@ metadata region, so the media alone describes the KV store::
     [2:4]    key length  (u16)
     [4:8]    value length(u32)
     [8:16]   epoch       (u64, monotonically increasing per PUT)
-    [16:..]  key bytes   (zero-padded to ``key_capacity``)
+    [16:20]  value CRC32 (u32, checksum of the value bytes)
+    [20:..]  key bytes   (zero-padded to ``key_capacity``)
 
 Records never cross a segment boundary (each metadata segment holds
 ``segment_size // record_size`` of them), so a record update is a single
@@ -18,6 +19,12 @@ in-segment write and composes with the pool's undo-log transactions:
 The validity flag is the paper's Algorithm 2 flag bit made real: DELETE
 resets a *persisted* bit, and recovery rebuilds the index, validity map and
 Dynamic Address Pool purely from a catalog scan.
+
+The value CRC32 is the store's end-to-end integrity contract: it is written
+in the same transaction as the value bytes (so record and value can never
+disagree after recovery), verified on every GET and during the recovery
+scan, and is what lets the read path *detect* resistance-drift corruption
+instead of serving garbage.
 """
 
 from __future__ import annotations
@@ -27,10 +34,11 @@ from dataclasses import dataclass
 
 from repro.pmem.pool import PersistentPool
 
-_RECORD = struct.Struct("<BBHIQ")  # flags, reserved, key_len, value_len, epoch
+# flags, reserved, key_len, value_len, epoch, value_crc32
+_RECORD = struct.Struct("<BBHIQI")
 _FLAG_VALID = 0x01
 
-#: Default key capacity; records are then 56 B, fitting the 64 B segments
+#: Default key capacity; records are then 60 B, fitting the 64 B segments
 #: used throughout the test/benchmark geometry.
 DEFAULT_KEY_CAPACITY = 40
 
@@ -43,6 +51,7 @@ class CatalogEntry:
     key: bytes
     value_len: int
     epoch: int
+    crc: int = 0
 
 
 class PersistentCatalog:
@@ -133,9 +142,15 @@ class PersistentCatalog:
             self.pool.write(self.pool.meta_address(i), zeros)
 
     def tx_set(
-        self, tx, slot: int, key: bytes, value_len: int, epoch: int
+        self, tx, slot: int, key: bytes, value_len: int, epoch: int,
+        crc: int = 0,
     ) -> None:
-        """Transactionally write a full live record for ``slot``."""
+        """Transactionally write a full live record for ``slot``.
+
+        ``crc`` is the CRC32 of the value bytes; writing it in the same
+        transaction as the value keeps record and value consistent across
+        any crash point.
+        """
         if len(key) > self.key_capacity:
             raise ValueError(
                 f"key of {len(key)} bytes exceeds catalog key capacity "
@@ -144,7 +159,7 @@ class PersistentCatalog:
         if not 0 < value_len <= self.pool.segment_size:
             raise ValueError(f"value length {value_len} out of range")
         record = _RECORD.pack(
-            _FLAG_VALID, 0, len(key), value_len, epoch
+            _FLAG_VALID, 0, len(key), value_len, epoch, crc & 0xFFFFFFFF
         ) + key.ljust(self.key_capacity, b"\x00")
         tx.write(self.record_address(slot), record)
 
@@ -158,7 +173,7 @@ class PersistentCatalog:
     def read(self, slot: int) -> CatalogEntry | None:
         """Decode the record of ``slot``; ``None`` when invalid or garbage."""
         raw = self.pool.read(self.record_address(slot), self.record_size)
-        flags, _, key_len, value_len, epoch = _RECORD.unpack(
+        flags, _, key_len, value_len, epoch, crc = _RECORD.unpack(
             raw[: _RECORD.size]
         )
         if flags != _FLAG_VALID:
@@ -169,7 +184,7 @@ class PersistentCatalog:
             return None
         key = raw[_RECORD.size : _RECORD.size + key_len]
         return CatalogEntry(slot=slot, key=key, value_len=value_len,
-                            epoch=epoch)
+                            epoch=epoch, crc=crc)
 
     def scan(self):
         """Yield every live :class:`CatalogEntry`, in slot order."""

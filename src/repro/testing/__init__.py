@@ -25,6 +25,7 @@ _CRASH_SWEEP_NAMES = frozenset(
         "CrashSweepReport",
         "DEFAULT_CRASH_SITES",
         "DEFAULT_TORN_SITES",
+        "DRIFT_CRASH_SITES",
         "WEAROUT_CRASH_SITES",
         "WL_CRASH_SITES",
         "WL_TORN_SITES",
@@ -36,6 +37,7 @@ _CRASH_SWEEP_NAMES = frozenset(
         "make_ycsb_trace",
         "run_crash_sweep",
         "run_wear_leveling_crash_sweep",
+        "weave_aging",
     }
 )
 

@@ -35,7 +35,8 @@ import numpy as np
 from repro.core.config import E2NVMConfig, fast_test_config
 from repro.core.kvstore import KVStore, StoreReadOnlyError
 from repro.nvm.controller import MemoryController
-from repro.nvm.device import NVMDevice, WearOutConfig
+from repro.nvm.device import DriftConfig, NVMDevice, WearOutConfig
+from repro.nvm.scrubber import Scrubber
 from repro.nvm.wear_leveling import (
     SegmentSwapWearLeveling,
     StartGapWearLeveling,
@@ -61,12 +62,19 @@ DEFAULT_CRASH_SITES = (
     "device.stuck_at",
     "health.retire",
     "health.relocate",
+    "device.drift_flip",
+    "scrub.refresh",
 )
 #: Write-capable sites additionally swept with torn-write variants.
 DEFAULT_TORN_SITES = ("tx.log", "tx.write")
 #: Subset of :data:`DEFAULT_CRASH_SITES` only a wear-out device can fire;
 #: on an immortal harness they count zero hits and contribute no points.
 WEAROUT_CRASH_SITES = ("device.stuck_at", "health.retire", "health.relocate")
+#: Subset of :data:`DEFAULT_CRASH_SITES` only a drift-enabled harness (one
+#: built with a :class:`~repro.nvm.device.DriftConfig`) can fire: the
+#: drift event itself and the scrubber's refresh write.  Elsewhere they
+#: count zero hits and contribute no points.
+DRIFT_CRASH_SITES = ("device.drift_flip", "scrub.refresh")
 
 
 def make_ycsb_trace(
@@ -104,6 +112,31 @@ def make_ycsb_trace(
     return trace
 
 
+def weave_aging(
+    trace,
+    *,
+    age_every: int = 5,
+    age_ticks: int = 1,
+    scrub_every: int = 10,
+) -> list[tuple]:
+    """Interleave retention aging and scrub rounds into a KV trace.
+
+    Every ``age_every`` ops an ``("age", age_ticks)`` op advances the
+    device's retention clock (possible ``device.drift_flip`` crash
+    points); every ``scrub_every`` ops a ``("scrub",)`` op runs one
+    synchronous scrub round (``scrub.refresh`` crash points).  Use on a
+    harness built with a :class:`~repro.nvm.device.DriftConfig`.
+    """
+    out: list[tuple] = []
+    for i, op in enumerate(trace, 1):
+        out.append(op)
+        if age_every and i % age_every == 0:
+            out.append(("age", age_ticks))
+        if scrub_every and i % scrub_every == 0:
+            out.append(("scrub",))
+    return out
+
+
 def apply_trace(store: KVStore, trace, oracle: dict[bytes, bytes]) -> int:
     """Apply ``trace``, acknowledging each op into ``oracle`` only after the
     call returns.  Returns the number of acknowledged operations; a crash
@@ -135,6 +168,16 @@ def apply_trace(store: KVStore, trace, oracle: dict[bytes, bytes]) -> int:
                     f"GET {op[1]!r} returned {got!r}, oracle says "
                     f"{expected!r}"
                 )
+        elif op[0] == "age":
+            # Retention aging: advances the drift clock (may fire the
+            # ``device.drift_flip`` crash site); observable contents are
+            # unchanged — drifted values are repaired or refused on read.
+            store.engine.controller.device.advance_time(op[1])
+        elif op[0] == "scrub":
+            # One synchronous scrub round (``scrub.refresh`` crash
+            # points); content-neutral by construction.
+            if store.scrubber is not None:
+                store.scrubber.scrub_round()
         else:
             raise ValueError(f"unknown trace op {op[0]!r}")
         acked += 1
@@ -232,6 +275,7 @@ class KVCrashHarness:
         seed: int = 7,
         config: E2NVMConfig | None = None,
         wearout: WearOutConfig | None = None,
+        drift: DriftConfig | None = None,
         spares: int = 0,
     ) -> None:
         self.n_segments = n_segments
@@ -259,6 +303,18 @@ class KVCrashHarness:
                 ),
             )
         self.wearout = wearout
+        if drift is not None and drift.immortal_prefix_segments == 0:
+            # Undo log and catalog must not drift either: a decayed log
+            # record CRC or catalog record would (correctly) be refused,
+            # but these regions model over-provisioned metadata media.
+            drift = DriftConfig(
+                retention_mean=drift.retention_mean,
+                retention_sigma=drift.retention_sigma,
+                seed=drift.seed,
+                wear_scale=drift.wear_scale,
+                immortal_prefix_segments=(log_segments + self.meta_segments),
+            )
+        self.drift = drift
         _, _, store = self.fresh(FaultInjector())
         self.pipeline = store.engine.pipeline
 
@@ -270,6 +326,7 @@ class KVCrashHarness:
             seed=self.seed,
             faults=faults,
             wearout=self.wearout,
+            drift=self.drift,
         )
 
     def _pool(self, device, faults) -> PersistentPool:
@@ -293,6 +350,12 @@ class KVCrashHarness:
         )
         if self.spares:
             store.engine.reserve_spares(self.spares)
+        if self.drift is not None:
+            # Synchronous scrubber (never start()ed in sweeps): trace
+            # ("scrub",) ops and CRC-failed reads drive it directly, and
+            # one round can reach every live segment.
+            Scrubber(store, segments_per_round=self.n_segments,
+                     faults=faults)
         return device, pool, store
 
     def reopen(self, device: NVMDevice) -> KVStore:
@@ -301,12 +364,18 @@ class KVCrashHarness:
         carried over."""
         device.faults = None
         pool = self._pool(device, None)
-        return KVStore.open(
+        store = KVStore.open(
             pool,
             config=self.config,
             key_capacity=self.key_capacity,
             pipeline=self.pipeline,
         )
+        if self.drift is not None:
+            # The recovered store needs repair capability too: values that
+            # drifted before (or during) the crash are healed on first
+            # read instead of failing the invariant check.
+            Scrubber(store, segments_per_round=self.n_segments)
+        return store
 
 
 @dataclass

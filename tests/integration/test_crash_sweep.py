@@ -9,13 +9,16 @@ job (``pytest -m crash``).
 
 import pytest
 
+from repro.nvm import DriftConfig
 from repro.testing import (
     DEFAULT_CRASH_SITES,
     DEFAULT_TORN_SITES,
+    DRIFT_CRASH_SITES,
     WEAROUT_CRASH_SITES,
     KVCrashHarness,
     make_ycsb_trace,
     run_crash_sweep,
+    weave_aging,
 )
 
 
@@ -24,14 +27,26 @@ def harness():
     return KVCrashHarness()
 
 
+@pytest.fixture(scope="module")
+def drift_harness():
+    """Stores on drifting media with a synchronous scrubber attached."""
+    return KVCrashHarness(
+        n_segments=48,
+        segment_size=64,
+        seed=7,
+        drift=DriftConfig(retention_mean=8, retention_sigma=0.3, seed=3),
+    )
+
+
 def test_small_sweep_every_point_recovers(harness):
     trace = make_ycsb_trace(30, n_keys=8, value_size=64, seed=3)
     report = run_crash_sweep(harness, trace)
     assert report.passed, report.failures[:5]
     # Every instrumented site was actually reached and crashed at — except
-    # the wear-out sites, which an immortal device can never fire.
+    # the wear-out and drift sites, which an immortal, drift-free device
+    # can never fire.
     for site in DEFAULT_CRASH_SITES:
-        if site in WEAROUT_CRASH_SITES:
+        if site in WEAROUT_CRASH_SITES or site in DRIFT_CRASH_SITES:
             assert report.site_hits[site] == 0, site
         else:
             assert report.site_hits[site] > 0, site
@@ -50,6 +65,42 @@ def test_trace_generator_is_deterministic():
 def test_trace_mix_validation():
     with pytest.raises(ValueError, match="sum to 1"):
         make_ycsb_trace(10, mix=(0.5, 0.5, 0.5))
+
+
+def test_small_drift_sweep_recovers(drift_harness):
+    """Crashes mid-drift, mid-scrub-refresh and at every write/tx point of
+    an aged workload all recover to the acknowledged state."""
+    trace = weave_aging(
+        make_ycsb_trace(16, n_keys=5, value_size=48, seed=3),
+        age_every=4,
+        age_ticks=3,
+        scrub_every=8,
+    )
+    report = run_crash_sweep(drift_harness, trace)
+    assert report.passed, report.failures[:5]
+    for site in DRIFT_CRASH_SITES:
+        assert report.site_hits[site] > 0, f"{site} never fired"
+
+
+@pytest.mark.scrub
+def test_drift_scrub_sweep_acceptance(drift_harness):
+    """Acceptance criterion: an aged, scrubbed workload crashed at every
+    fired site — drift flips, scrub refreshes, torn log/value writes —
+    recovers to exactly the acknowledged state at all of them."""
+    trace = weave_aging(
+        make_ycsb_trace(60, n_keys=8, value_size=48, seed=11),
+        age_every=4,
+        age_ticks=3,
+        scrub_every=6,
+    )
+    report = run_crash_sweep(drift_harness, trace)
+    assert report.passed, (
+        f"{len(report.failures)} of {report.crash_points} crash points "
+        f"failed; first: {report.failures[:3]}"
+    )
+    for site in DRIFT_CRASH_SITES:
+        assert report.site_hits[site] > 0, f"{site} never fired"
+    assert report.torn_points > 0
 
 
 @pytest.mark.crash

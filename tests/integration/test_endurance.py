@@ -3,7 +3,8 @@ unprotected stores, degraded mode and wear-leveling crash safety.
 
 Tier 1 runs the accelerated-aging acceptance pair — a verify-protected
 store stays *correct* until it degrades to read-only with a dedicated
-error, an unprotected one silently serves corrupt reads — plus compact
+error, an unprotected one raises ``CorruptValueError`` on the damage its
+unverified writes let through (never silent garbage) — plus compact
 wear-leveling sweeps.  The ``endurance``-marked organic-wear run and the
 ``crash``-marked wear-out sweep are CI's dedicated heavy jobs.
 """
@@ -11,7 +12,7 @@ wear-leveling sweeps.  The ``endurance``-marked organic-wear run and the
 import numpy as np
 import pytest
 
-from repro.core.kvstore import KVStore, StoreReadOnlyError
+from repro.core.kvstore import CorruptValueError, KVStore, StoreReadOnlyError
 from repro.nvm import MemoryController, NVMDevice, WearOutConfig
 from repro.pmem.pool import PersistentPool
 from repro.testing import (
@@ -106,9 +107,12 @@ class TestProtectedStore:
 
 
 class TestUnprotectedStore:
-    def test_unprotected_store_serves_corrupt_reads(self, worn_harness):
+    def test_unprotected_store_detects_corrupt_reads(self, worn_harness):
         """The corrupt-read baseline: same mortal media, verification off
-        — writes silently fail on stuck cells and GETs return garbage."""
+        — writes silently fail on stuck cells.  Since the catalog grew a
+        value CRC, GET *detects* the damage and raises
+        :class:`CorruptValueError` instead of returning garbage: silent
+        wrong bytes are impossible even on an unprotected store."""
         h = worn_harness
         device = NVMDevice(
             capacity_bytes=h.n_segments * h.segment_size,
@@ -135,13 +139,20 @@ class TestUnprotectedStore:
 
         device.age(10**6)  # every data cell is now stuck
 
-        corrupt = 0
+        detected = 0
         for key in keys:
             value = rng.integers(0, 256, 48, dtype=np.uint8).tobytes()
             store.put(key, value)  # acknowledged without complaint
-            if store.get(key) != value:
-                corrupt += 1
-        assert corrupt > 0, "unprotected store never served a corrupt read"
+            try:
+                got = store.get(key)
+            except CorruptValueError:
+                detected += 1
+            else:
+                # A read that *does* come back must be the right bytes —
+                # never silently wrong ones.
+                assert got == value
+        assert detected > 0, "unprotected store never detected corruption"
+        assert store.corrupt_reads_detected >= detected
         assert not store.read_only  # it does not even know it is dying
 
 
