@@ -1,22 +1,31 @@
-"""Hot write-path throughput: per-op vs batched vs multi-threaded.
+"""Hot write-path throughput: per-op vs batched vs multi-threaded vs cached.
 
-Measures the placement write path after the lock-narrowing and
-batched-inference overhaul:
+Measures the placement write path after the lock-narrowing, batched
+inference, and two-tier fast placement overhauls:
 
 - **single-thread ops/s** — per-op ``engine.write`` + ``engine.release``
   (the steady-state PUT/recycle stream every figure benchmark drives);
 - **4-thread ops/s** — the same loop on one shared engine.  Forward passes
   run *outside* the swap lock, so concurrent writers overlap inside BLAS
-  (which drops the GIL) and only serialise on the short DAP pop;
+  (which drops the GIL) and only serialise on the short DAP pop.  Skipped
+  (annotated) when ``cpu_count == 1`` — on a 1-core box the number would
+  only measure lock-contention overhead, not scaling;
 - **batched ops/s** — ``engine.write_many`` + ``release_many`` for several
   batch sizes: one stacked forward pass, one DAP claim, one vectorised
   device write per batch;
-- **p50/p99 place latency** — per-call ``engine.place`` wall time.
+- **p50/p99 place latency** — per-call ``engine.place`` wall time;
+- **cached** — the same loops on a Zipfian-skewed trace (YCSB-style: a
+  small working set re-written constantly) against an engine with the
+  fingerprint memo cache and the distilled student placer enabled, plus
+  the fast layer's telemetry.
 
 Results land in ``BENCH_throughput.json`` at the repo root.  ``--quick``
 shrinks op counts (same shapes) for CI smoke runs; ``--check`` compares
-the single-thread ops/s against the committed JSON and exits non-zero on a
->30% regression instead of overwriting it.
+against the committed JSON instead of overwriting it and exits non-zero
+when: single-thread ops/s regresses >30%; multi-thread ops/s regresses
+>30% (only compared like-for-like — both runs measured it on the same
+``cpu_count``); the cached-path p50 place latency exceeds its ceiling; or
+the memo cache reports zero hits on the skewed trace.
 """
 
 from __future__ import annotations
@@ -36,15 +45,23 @@ from common import (
     print_table,
     seeded_engine,
 )
+from repro.workloads.zipfian import ZipfianGenerator
 
 SEGMENT_SIZE = 1024
 N_SEGMENTS = 256
 N_THREADS = 4
 BATCH_SIZES = (8, 32, 128)
+#: Zipfian skew of the cached-path trace (YCSB's default theta) over a
+#: working set small enough to live entirely in the memo cache.
+ZIPF_THETA = 0.99
+WORKING_SET = 64
 JSON_PATH = REPO_ROOT / "BENCH_throughput.json"
-#: ``--check`` fails when single-thread ops/s drops below this fraction of
-#: the committed baseline.
+#: ``--check`` fails when single-thread (or like-for-like multi-thread)
+#: ops/s drops below this fraction of the committed baseline.
 REGRESSION_FLOOR = 0.70
+#: ``--check`` fails when the cached-path p50 place latency exceeds this —
+#: 1/5 of the 308 µs teacher-path p50 the fast layer was built to beat.
+CACHED_P50_CEILING_US = 61.6
 
 
 def _make_values(n: int, seed: int = 11) -> list[bytes]:
@@ -53,13 +70,25 @@ def _make_values(n: int, seed: int = 11) -> list[bytes]:
     return [row.tobytes() for row in data]
 
 
-def _build_engine():
+def _make_skewed_values(n: int, seed: int = 23) -> list[bytes]:
+    """A Zipfian re-write trace over a small working set of values."""
+    pool = _make_values(WORKING_SET, seed=seed)
+    gen = ZipfianGenerator(WORKING_SET, theta=ZIPF_THETA, seed=seed)
+    return [pool[gen.next()] for _ in range(n)]
+
+
+def _build_engine(cached: bool = False):
     # Full-segment values: padding is a no-op on this path, so the per-op
-    # cost is prediction + claim + differential write, not padding.
+    # cost is prediction + claim + differential write, not padding.  The
+    # ``cached`` engine turns the student tier on (the cache tier is on by
+    # default); the plain engine measures the teacher-only path.
     config = bench_config(
         hidden=(64,),
         train_sample_limit=N_SEGMENTS,
         ones_fraction_refresh_writes=0,  # no mid-run content re-sampling
+        fastpath_cache_size=4096 if cached else 0,
+        student_enabled=cached,
+        student_confidence=0.6,
     )
     return seeded_engine(
         _make_values(N_SEGMENTS, seed=3), SEGMENT_SIZE, config=config
@@ -117,6 +146,49 @@ def _place_latencies(engine, values: list[bytes]) -> np.ndarray:
     return out * 1e6  # µs
 
 
+def _run_multi_thread_section(engine, values: list[bytes], single: float):
+    """The 4-thread loop, or an annotated skip on a 1-core box where the
+    number would be lock-contention noise presented as a scaling result."""
+    cpu_count = os.cpu_count() or 1
+    if cpu_count <= 1:
+        return {
+            "threads": N_THREADS,
+            "skipped": True,
+            "reason": "cpu_count == 1: thread scaling is unmeasurable",
+        }
+    threaded = _run_threaded(engine, values, N_THREADS)
+    return {
+        "threads": N_THREADS,
+        "ops_per_s": round(threaded, 1),
+        "scaling_x": round(threaded / single, 2),
+    }
+
+
+def _run_cached_section(quick: bool) -> dict:
+    """The skewed-trace run against the cache+student engine."""
+    n_ops = 400 if quick else 2000
+    n_latency = 100 if quick else 500
+    engine = _build_engine(cached=True)
+    values = _make_skewed_values(n_ops)
+
+    single = _run_single(engine, values)
+    batched = {b: _run_batched(engine, values, b) for b in BATCH_SIZES}
+    latencies = _place_latencies(engine, values[:n_latency])
+    return {
+        "working_set": WORKING_SET,
+        "zipf_theta": ZIPF_THETA,
+        "single_thread_ops_per_s": round(single, 1),
+        "batched_ops_per_s": {
+            str(b): round(ops, 1) for b, ops in batched.items()
+        },
+        "place_latency_us": {
+            "p50": round(float(np.percentile(latencies, 50)), 1),
+            "p99": round(float(np.percentile(latencies, 99)), 1),
+        },
+        "telemetry": engine.placement_telemetry(),
+    }
+
+
 def run_throughput(quick: bool = False) -> dict:
     n_ops = 400 if quick else 2000
     n_latency = 100 if quick else 500
@@ -124,7 +196,7 @@ def run_throughput(quick: bool = False) -> dict:
     values = _make_values(n_ops, seed=17)
 
     single = _run_single(engine, values)
-    threaded = _run_threaded(engine, values, N_THREADS)
+    multi = _run_multi_thread_section(engine, values, single)
     batched = {b: _run_batched(engine, values, b) for b in BATCH_SIZES}
     latencies = _place_latencies(engine, values[:n_latency])
 
@@ -133,15 +205,9 @@ def run_throughput(quick: bool = False) -> dict:
         "n_segments": N_SEGMENTS,
         "n_ops": n_ops,
         "quick": quick,
-        # Thread scaling is bounded by the core count: on a 1-core box the
-        # 4-thread number only measures lock-contention overhead.
         "cpu_count": os.cpu_count(),
         "single_thread_ops_per_s": round(single, 1),
-        "multi_thread": {
-            "threads": N_THREADS,
-            "ops_per_s": round(threaded, 1),
-            "scaling_x": round(threaded / single, 2),
-        },
+        "multi_thread": multi,
         "batched_ops_per_s": {
             str(b): round(ops, 1) for b, ops in batched.items()
         },
@@ -153,26 +219,109 @@ def run_throughput(quick: bool = False) -> dict:
         "mean_prediction_latency_us": round(
             engine.pipeline.mean_prediction_latency_us, 1
         ),
+        "cached": _run_cached_section(quick),
     }
 
 
 def report(result: dict) -> None:
     rows = [
         ["single-thread write+release", result["single_thread_ops_per_s"]],
-        [
-            f"{result['multi_thread']['threads']}-thread write+release "
-            f"({result['multi_thread']['scaling_x']}x)",
-            result["multi_thread"]["ops_per_s"],
-        ],
     ]
+    multi = result["multi_thread"]
+    if multi.get("skipped"):
+        rows.append([f"{multi['threads']}-thread ({multi['reason']})", "-"])
+    else:
+        rows.append(
+            [
+                f"{multi['threads']}-thread write+release "
+                f"({multi['scaling_x']}x)",
+                multi["ops_per_s"],
+            ]
+        )
     for batch, ops in result["batched_ops_per_s"].items():
         rows.append([f"batched write_many (B={batch})", ops])
+    cached = result["cached"]
+    rows.append(
+        [
+            f"cached single (zipf {cached['zipf_theta']})",
+            cached["single_thread_ops_per_s"],
+        ]
+    )
+    for batch, ops in cached["batched_ops_per_s"].items():
+        rows.append([f"cached batched (B={batch})", ops])
     print_table("Write-path throughput", ["path", "ops/s"], rows)
     lat = result["place_latency_us"]
+    clat = cached["place_latency_us"]
+    tel = cached["telemetry"]
     print(
         f"place latency: p50 {lat['p50']} us, p99 {lat['p99']} us; "
         f"mean prediction {result['mean_prediction_latency_us']} us"
     )
+    print(
+        f"cached place latency: p50 {clat['p50']} us, p99 {clat['p99']} us; "
+        f"cache hits {tel['cache_hits']}, misses {tel['cache_misses']}, "
+        f"student served {tel['student_served']}, "
+        f"teacher served {tel['teacher_served']}"
+    )
+
+
+def _check_multi_thread(baseline: dict, result: dict) -> int:
+    """Like-for-like multi-thread comparison: both runs must have measured
+    it (not skipped) on the same core count, else the check is vacuous."""
+    base_mt = baseline.get("multi_thread", {})
+    cur_mt = result.get("multi_thread", {})
+    if "ops_per_s" not in base_mt or "ops_per_s" not in cur_mt:
+        print("[multi-thread check skipped: not measured in both runs]")
+        return 0
+    if baseline.get("cpu_count") != result.get("cpu_count"):
+        print(
+            f"[multi-thread check skipped: baseline ran on "
+            f"{baseline.get('cpu_count')} cores, this run on "
+            f"{result.get('cpu_count')}]"
+        )
+        return 0
+    floor = base_mt["ops_per_s"] * REGRESSION_FLOOR
+    if cur_mt["ops_per_s"] < floor:
+        print(
+            f"REGRESSION: multi-thread {cur_mt['ops_per_s']:.0f} ops/s is "
+            f"below {REGRESSION_FLOOR:.0%} of the committed "
+            f"{base_mt['ops_per_s']:.0f} ops/s"
+        )
+        return 1
+    print(
+        f"[multi-thread check OK: {cur_mt['ops_per_s']:.0f} ops/s vs "
+        f"committed {base_mt['ops_per_s']:.0f}]"
+    )
+    return 0
+
+
+def _check_cached(result: dict) -> int:
+    """Gate the cache-hit path: p50 latency ceiling and non-zero hits."""
+    cached = result.get("cached")
+    if not cached:
+        print("REGRESSION: no cached section in this run")
+        return 1
+    failures = 0
+    p50 = cached["place_latency_us"]["p50"]
+    if p50 > CACHED_P50_CEILING_US:
+        print(
+            f"REGRESSION: cached-path p50 place latency {p50:.1f} us "
+            f"exceeds the {CACHED_P50_CEILING_US} us ceiling"
+        )
+        failures += 1
+    hits = cached["telemetry"]["cache_hits"]
+    if hits == 0:
+        print(
+            "REGRESSION: memo cache reported zero hits on the skewed "
+            "trace — the cache tier is not being consulted"
+        )
+        failures += 1
+    if not failures:
+        print(
+            f"[cached check OK: p50 {p50:.1f} us "
+            f"(ceiling {CACHED_P50_CEILING_US}), {hits} cache hits]"
+        )
+    return failures
 
 
 def check_regression(result: dict) -> int:
@@ -183,6 +332,7 @@ def check_regression(result: dict) -> int:
     import json
 
     baseline = json.loads(JSON_PATH.read_text())
+    failures = 0
     floor = baseline["single_thread_ops_per_s"] * REGRESSION_FLOOR
     current = result["single_thread_ops_per_s"]
     if current < floor:
@@ -191,13 +341,16 @@ def check_regression(result: dict) -> int:
             f"{REGRESSION_FLOOR:.0%} of the committed "
             f"{baseline['single_thread_ops_per_s']:.0f} ops/s"
         )
-        return 1
-    print(
-        f"[perf check OK: {current:.0f} ops/s vs committed "
-        f"{baseline['single_thread_ops_per_s']:.0f} ops/s, "
-        f"floor {floor:.0f}]"
-    )
-    return 0
+        failures += 1
+    else:
+        print(
+            f"[perf check OK: {current:.0f} ops/s vs committed "
+            f"{baseline['single_thread_ops_per_s']:.0f} ops/s, "
+            f"floor {floor:.0f}]"
+        )
+    failures += _check_multi_thread(baseline, result)
+    failures += _check_cached(result)
+    return 1 if failures else 0
 
 
 def main() -> None:
@@ -206,7 +359,9 @@ def main() -> None:
         "--check",
         action="store_true",
         help="compare against the committed BENCH_throughput.json instead "
-        "of overwriting it; exit 1 on a >30%% single-thread regression",
+        "of overwriting it; exit 1 on a >30%% throughput regression, a "
+        "cached-path p50 over its ceiling, or zero cache hits on the "
+        "skewed trace",
     )
     args = parser.parse_args()
     result = run_throughput(quick=args.quick)

@@ -234,6 +234,14 @@ class DynamicAddressPool:
             return max(non_empty, key=lambda c: len(self._pools[c]))
         # O(k) walk over the cached nearest-centroid order instead of an
         # O(k * d) distance computation on every empty-cluster miss.
+        #
+        # Retirement-safety: the memo stores only the *cluster* visit
+        # order, never addresses, and each candidate's free list is
+        # re-checked here at use time under the pool lock.  A segment the
+        # health manager retires between model swaps is removed from its
+        # free list by ``quarantine()`` (same lock), so the fallback can
+        # observe an emptied cluster but can never pop a retired address —
+        # no invalidation of the memo is needed.
         for candidate in self._neighbor_order_for(centroids)[cluster]:
             if self._pools[int(candidate)]:
                 return int(candidate)

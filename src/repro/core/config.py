@@ -43,6 +43,25 @@ class E2NVMConfig:
         lstm_window_bits / lstm_chunk_bits / lstm_hidden / lstm_epochs:
             learned-padding LSTM shape and schedule (§4.1.3; paper uses a
             64-bit window predicting 8 bits per step).
+        fastpath_cache_size: capacity of the content-fingerprint → cluster
+            memo cache consulted before any model forward pass (0 disables
+            it).  The cache is invalidated wholesale on every model swap,
+            so it never changes *which* cluster a value lands in — only how
+            fast repeated content is placed.
+        student_enabled: distill a logistic student placer from the
+            VAE+K-means teacher at every (re)train and serve cache-miss
+            predictions from it when its confidence clears
+            ``student_confidence``.  Off by default: the student may
+            disagree with the teacher on low-margin content, which
+            experiments comparing exact placements should not see.
+        student_confidence: minimum softmax confidence for the student to
+            serve a prediction; below it the teacher is consulted.
+        student_epochs / student_lr: distillation schedule of the student
+            head (full-batch softmax regression).
+        place_epoch_retries: lock-free placement retries after a model swap
+            lands mid-prediction before the engine predicts *under* the
+            swap lock — bounding writer latency against a hostile retrain
+            cadence instead of starving.
         seed: seed for every stochastic component.
     """
 
@@ -67,6 +86,12 @@ class E2NVMConfig:
     lstm_chunk_bits: int = 8
     lstm_hidden: int = 32
     lstm_epochs: int = 4
+    fastpath_cache_size: int = 4096
+    student_enabled: bool = False
+    student_confidence: float = 0.9
+    student_epochs: int = 120
+    student_lr: float = 0.05
+    place_epoch_retries: int = 8
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -78,6 +103,14 @@ class E2NVMConfig:
             raise ValueError("ones_fraction_refresh_writes must be >= 0")
         if self.ones_fraction_sample_segments <= 0:
             raise ValueError("ones_fraction_sample_segments must be positive")
+        if self.fastpath_cache_size < 0:
+            raise ValueError("fastpath_cache_size must be >= 0")
+        if not 0.0 <= self.student_confidence <= 1.0:
+            raise ValueError("student_confidence must be in [0, 1]")
+        if self.student_epochs <= 0:
+            raise ValueError("student_epochs must be positive")
+        if self.place_epoch_retries < 1:
+            raise ValueError("place_epoch_retries must be >= 1")
         self.hidden = tuple(self.hidden)
         if not self.hidden:
             raise ValueError("hidden must name at least one layer width")

@@ -3,8 +3,11 @@
 ``E2NVM`` owns the trained prediction pipeline and the Dynamic Address Pool
 and exposes the write path of Algorithm 1:
 
-1. ``predict`` the incoming value's cluster (VAE encoder + K-means, with
-   padding when the value is shorter than a segment);
+1. ``predict`` the incoming value's cluster — first through the two-tier
+   fast placement layer (:mod:`repro.core.fastpath`): a content-fingerprint
+   memo cache, then an optional distilled student placer, and only for
+   genuinely novel content the full VAE encoder + K-means (with padding
+   when the value is shorter than a segment);
 2. pop a free address of that cluster from the DAP;
 3. write the value there — the controller's DCW scheme programs only the
    bits that differ from the (similar) old content;
@@ -37,6 +40,7 @@ import numpy as np
 
 from repro.core.address_pool import DynamicAddressPool, PoolExhaustedError
 from repro.core.config import E2NVMConfig
+from repro.core.fastpath import FastPlacementLayer
 from repro.core.pipeline import EncoderPipeline
 from repro.core.retraining import RetrainDecision, RetrainPolicy, RetrainStats
 from repro.nvm.controller import MemoryController
@@ -78,6 +82,13 @@ class E2NVM:
         self.segment_size = controller.segment_size
         self.input_bits = self.segment_size * 8
         self.pipeline = EncoderPipeline(self.input_bits, self.config, faults)
+        # Two-tier fast placement (memo cache + distilled student) in front
+        # of the pipeline; (re)installed — cache invalidated wholesale —
+        # at every model swap, keyed by ``_model_epoch``.
+        self.fast = FastPlacementLayer(
+            cache_size=self.config.fastpath_cache_size,
+            student_confidence=self.config.student_confidence,
+        )
         self.dap = DynamicAddressPool(self.config.n_clusters)
         self.policy = RetrainPolicy(
             min_free_per_cluster=self.config.retrain_threshold,
@@ -225,6 +236,9 @@ class E2NVM:
             self.pipeline = pipeline
             self.dap = new_dap
             self._model_epoch += 1
+            # Adopted models carry no distilled student (none was trained
+            # alongside them); attach one with :meth:`attach_student`.
+            self.fast.install(self._model_epoch, None)
         if bits is not None:
             self._refresh_ones_fraction(bits)
 
@@ -297,56 +311,67 @@ class E2NVM:
     def place(self, value: bytes | np.ndarray) -> int:
         """Algorithm 1, lines 1–4: claim the best free address for a value.
 
-        The model forward pass runs *outside* the swap lock — concurrent
-        writers only serialise on the DAP pop.  The model epoch is
-        re-validated under the lock before claiming; if a background retrain
-        swapped the model mid-prediction, the value is simply re-predicted
-        with the new model (swaps are rare, so retries are too).
+        Prediction consults the fast placement layer first — memo cache,
+        then (when enabled) the distilled student — and only runs the full
+        model forward pass on genuinely novel content.  Every tier runs
+        *outside* the swap lock — concurrent writers only serialise on the
+        DAP pop.  The model epoch is re-validated under the lock before
+        claiming (covering cached and student-served predictions alike); if
+        a background retrain swapped the model mid-prediction, the value is
+        simply re-predicted with the new model.  After
+        ``config.place_epoch_retries`` lock-free attempts the prediction
+        runs *under* the swap lock, so a hostile retrain cadence delays a
+        writer by at most N forward passes instead of starving it.
 
         When the predicted cluster is empty the pool falls back first-fit
         to the nearest non-empty cluster, so placement degrades gracefully
         instead of failing while a retrain is deferred or in flight.
         """
-        self._require_trained()
-        while True:
-            pipeline = self.pipeline
-            epoch = self._model_epoch
-            cluster = pipeline.predict_cluster(
-                value, memory_ones_fraction=self._memory_ones_fraction
-            )
-            with self._swap_lock:
-                if epoch != self._model_epoch:
-                    continue  # model swapped mid-prediction: re-predict
-                addr = self.dap.get(cluster, centroids=pipeline.centroids)
-                self._allocated.add(addr)
-                return addr
+        return self.place_many([value])[0]
 
     def place_many(self, values: list[bytes | np.ndarray]) -> list[int]:
-        """Claim addresses for a whole batch with one forward pass and one
-        (short) swap-lock acquisition.
+        """Claim addresses for a whole batch with one forward pass (for the
+        cache/student-miss remainder) and one (short) swap-lock acquisition.
 
         Cluster assignments are identical to per-value :meth:`place` calls
-        (``predict_batch`` is bit-exact with sequential prediction); the
-        DAP pop is all-or-nothing, so a pool-exhaustion failure leaves the
-        pool untouched.
+        (``predict_batch`` is bit-exact with sequential prediction, and the
+        memo cache replays exactly the installed model's earlier answer for
+        identical content); the DAP pop is all-or-nothing, so a
+        pool-exhaustion failure leaves the pool untouched.
+
+        See :meth:`place` for the epoch re-validation and bounded-retry
+        contract.
         """
         self._require_trained()
         if not values:
             return []
-        while True:
+        for _ in range(self.config.place_epoch_retries):
             pipeline = self.pipeline
             epoch = self._model_epoch
-            clusters = pipeline.predict_batch(
-                values, memory_ones_fraction=self._memory_ones_fraction
+            clusters = self.fast.predict(
+                values, pipeline, epoch,
+                memory_ones_fraction=self._memory_ones_fraction,
             )
             with self._swap_lock:
                 if epoch != self._model_epoch:
-                    continue
+                    continue  # model swapped mid-prediction: re-predict
                 addrs = self.dap.get_many(
                     clusters, centroids=pipeline.centroids
                 )
                 self._allocated.update(addrs)
                 return addrs
+        # Retries exhausted (a swap landed on every attempt): predict under
+        # the swap lock, where no swap can interleave.  Slower — the swap
+        # worker blocks on us — but guaranteed to terminate.
+        with self._swap_lock:
+            pipeline = self.pipeline
+            clusters = self.fast.predict(
+                values, pipeline, self._model_epoch,
+                memory_ones_fraction=self._memory_ones_fraction,
+            )
+            addrs = self.dap.get_many(clusters, centroids=pipeline.centroids)
+            self._allocated.update(addrs)
+            return addrs
 
     def write(self, value: bytes) -> tuple[int, WriteResult]:
         """Algorithm 1 end-to-end: place, then differential-write the value.
@@ -472,14 +497,25 @@ class E2NVM:
     def release_many(self, addrs: list[int]) -> None:
         """Batch recycle: one re-encoding forward pass for all addresses.
 
-        Like :meth:`place`, the segment re-encoding runs outside the swap
-        lock and is retried if a model swap lands mid-flight (the recycled
-        addresses must be labelled by the *installed* model, or they would
-        pollute the freshly relabelled pool).
+        The re-encode consults the same two-tier fast layer as placement —
+        a segment whose exact content was recently labelled (the steady
+        write/recycle stream of skewed traffic) re-pools from the memo
+        cache without a forward pass.  Full-width content needs no padding,
+        so the teacher fallback (``predict_batch``) is bit-exact with the
+        former ``predict_segments`` path.
+
+        Like :meth:`place`, the re-encoding runs outside the swap lock and
+        is retried if a model swap lands mid-flight (the recycled addresses
+        must be labelled by the *installed* model, or they would pollute
+        the freshly relabelled pool).
 
         A freed address whose segment has been retired (or is retiring)
         is quarantined instead of re-pooled — its media is dead (or
         dying) and must never be handed out again.
+
+        Like :meth:`place_many`, the epoch-mismatch retry is bounded by
+        ``config.place_epoch_retries``; the final attempt re-encodes under
+        the swap lock so a hostile retrain cadence cannot starve a release.
         """
         self._require_trained()
         addrs = list(addrs)
@@ -488,24 +524,41 @@ class E2NVM:
                 raise KeyError(f"address {addr} is not allocated")
         if not addrs:
             return
-        bits = self._segment_bits(addrs)
-        health = self.health
-        while True:
+        contents = [
+            bytes(self.controller.peek(addr, self.segment_size))
+            for addr in addrs
+        ]
+        for _ in range(self.config.place_epoch_retries):
             pipeline = self.pipeline
             epoch = self._model_epoch
-            clusters = pipeline.predict_segments(bits)
+            clusters = self.fast.predict(
+                contents, pipeline, epoch,
+                memory_ones_fraction=self._memory_ones_fraction,
+            )
             with self._swap_lock:
                 if epoch != self._model_epoch:
                     continue  # model swapped mid-encode: re-label
-                for addr, cluster in zip(addrs, clusters):
-                    self._allocated.discard(addr)
-                    if health is not None and health.is_unplaceable(
-                        addr // self.segment_size
-                    ):
-                        self.dap.quarantine(addr)
-                    else:
-                        self.dap.add(int(cluster), addr)
+                self._repool(addrs, clusters)
                 return
+        with self._swap_lock:
+            clusters = self.fast.predict(
+                contents, self.pipeline, self._model_epoch,
+                memory_ones_fraction=self._memory_ones_fraction,
+            )
+            self._repool(addrs, clusters)
+
+    def _repool(self, addrs: list[int], clusters) -> None:
+        """Return freed addresses to the DAP (or quarantine dying ones);
+        the caller holds the swap lock with a validated epoch."""
+        health = self.health
+        for addr, cluster in zip(addrs, clusters):
+            self._allocated.discard(addr)
+            if health is not None and health.is_unplaceable(
+                addr // self.segment_size
+            ):
+                self.dap.quarantine(addr)
+            else:
+                self.dap.add(int(cluster), addr)
 
     def maybe_retrain(self) -> bool:
         """Run the retrain policy; starts a *background* retrain on FIRE.
@@ -674,8 +727,10 @@ class E2NVM:
                 self.retrain_stats.started += 1
         start = time.perf_counter()
         try:
-            pipeline, history, contents = self._fit_candidate(fit_set, verbose)
-            self._swap_in(pipeline, swap_addresses)
+            pipeline, history, contents, student = self._fit_candidate(
+                fit_set, verbose
+            )
+            self._swap_in(pipeline, swap_addresses, student=student)
         except BaseException:
             if was_retrain:
                 with self._retrain_admin_lock:
@@ -689,14 +744,22 @@ class E2NVM:
                 self.retrain_stats.succeeded += 1
                 self.retrain_stats.last_duration_s = duration
                 self.retrain_stats.total_duration_s += duration
+            if student is not None:
+                self.retrain_stats.student_refreshes += 1
+                self.retrain_stats.last_student_agreement = (
+                    student.train_agreement
+                )
             self._retrain_pending = False
         self.policy.record_retrain()
         return history
 
     def _fit_candidate(
         self, fit_set: list[int], verbose: bool = False
-    ) -> tuple[EncoderPipeline, dict, np.ndarray]:
-        """Fit a fresh pipeline on ``fit_set`` contents, off to the side."""
+    ) -> tuple[EncoderPipeline, dict, np.ndarray, object | None]:
+        """Fit a fresh pipeline on ``fit_set`` contents, off to the side,
+        and (when enabled) distill a student placer from it on the same
+        sample — both happen before the swap, so the write path never
+        waits on either."""
         contents = self._segment_bits(fit_set)
         sample = contents
         if len(fit_set) > self.config.train_sample_limit:
@@ -710,16 +773,39 @@ class E2NVM:
             self.faults.fire("train.fit")
         pipeline = EncoderPipeline(self.input_bits, self.config, self.faults)
         history = pipeline.fit(sample, verbose=verbose)
-        return pipeline, history, contents
+        student = None
+        if self.config.student_enabled:
+            student = pipeline.distill_student(sample)
+        return pipeline, history, contents, student
+
+    def attach_student(self, student) -> None:
+        """Install a (deserialised) student placer for the *current* model
+        epoch — the recovery-path complement of the per-retrain
+        distillation.  The caller is responsible for the student matching
+        the installed teacher (e.g. both loaded from the same snapshot)."""
+        if student is not None and not getattr(student, "trained", False):
+            raise ValueError("attach_student() needs a trained student")
+        with self._swap_lock:
+            self.fast.install(self._model_epoch, student)
+
+    def placement_telemetry(self) -> dict:
+        """Fast placement layer telemetry (cache hits/misses/evictions,
+        student served/deferred, teacher fallbacks)."""
+        return self.fast.stats()
 
     def _swap_in(
-        self, pipeline: EncoderPipeline, addresses: list[int] | None
+        self,
+        pipeline: EncoderPipeline,
+        addresses: list[int] | None,
+        student=None,
     ) -> None:
         """Atomically install ``pipeline`` and a relabelled pool.
 
         Under the swap lock: snapshot the pool, relabel the free set with
-        the new model, and swap both.  Any exception restores the snapshot
-        byte-for-byte (counted as a pool restore) and re-raises.
+        the new model, and swap both — the fast placement layer adopts the
+        new epoch at the same point (memo cache invalidated wholesale, the
+        freshly distilled student installed).  Any exception restores the
+        snapshot byte-for-byte (counted as a pool restore) and re-raises.
         """
         with self._swap_lock:
             saved = self.dap.snapshot()
@@ -740,6 +826,7 @@ class E2NVM:
                 self.pipeline = pipeline
                 self.dap = new_dap
                 self._model_epoch += 1
+                self.fast.install(self._model_epoch, student)
             except BaseException:
                 self.dap.restore(saved)
                 with self._retrain_admin_lock:

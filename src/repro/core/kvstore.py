@@ -723,6 +723,16 @@ class KVStore:
         finally:
             self._relocating = False
 
+    def placement_telemetry(self) -> dict:
+        """Fast placement layer telemetry for this store's engine.
+
+        PUT/``put_many`` route placement through the engine's two-tier fast
+        layer (fingerprint memo cache, then the distilled student placer)
+        before any model forward pass; this exposes its hit/miss/serve
+        counters for monitoring and benchmarks.
+        """
+        return self.engine.placement_telemetry()
+
     def scan(self, start_key: bytes, end_key: bytes) -> list[tuple[bytes, bytes]]:
         """All (key, value) pairs with start_key <= key <= end_key, in order."""
         out = []

@@ -51,6 +51,12 @@ class RetrainStats:
     pool_restores: int = 0
     last_duration_s: float = 0.0
     total_duration_s: float = 0.0
+    #: Student placers distilled alongside a successful (re)train — the
+    #: fast placement layer's tier-2 model is refreshed at each of these.
+    student_refreshes: int = 0
+    #: Distillation fidelity of the most recent student (fraction of the
+    #: training sample where its argmax matched the teacher's label).
+    last_student_agreement: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
         """Flat dict view (benchmark reporting)."""
@@ -62,6 +68,8 @@ class RetrainStats:
             "pool_restores": self.pool_restores,
             "last_retrain_s": self.last_duration_s,
             "total_retrain_s": self.total_duration_s,
+            "student_refreshes": self.student_refreshes,
+            "last_student_agreement": self.last_student_agreement,
         }
 
 

@@ -25,11 +25,14 @@ from repro.ml.metrics import elbow_k, sum_squared_error
 from repro.ml.serialization import (
     load_joint,
     load_lstm,
+    load_student,
     load_vae,
     save_joint,
     save_lstm,
+    save_student,
     save_vae,
 )
+from repro.ml.student import StudentPlacer
 
 __all__ = [
     "KMeans",
@@ -45,4 +48,7 @@ __all__ = [
     "load_lstm",
     "save_joint",
     "load_joint",
+    "StudentPlacer",
+    "save_student",
+    "load_student",
 ]

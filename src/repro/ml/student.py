@@ -1,0 +1,159 @@
+"""The distilled student placer: a logistic head over raw byte histograms.
+
+The full placement model (VAE encoder + K-means) costs a stacked matmul per
+prediction — hundreds of microseconds that dominate the hot write path.  In
+the spirit of SMART-WRITE's adaptive learned write management and
+Predict-and-Write's lightweight clustering (PAPERS.md), a *student* model is
+distilled from the VAE+K-means *teacher* at every (re)train: a multinomial
+logistic regression over the value's normalised byte histogram (256 counts
+plus a length feature).  Featurisation is two C-speed passes over the raw
+bytes and the head is a single ``(257, K)`` matmul — orders of magnitude
+cheaper than the encoder forward pass.
+
+The student is intentionally *deferential*: it serves a prediction only when
+its softmax confidence clears a threshold, and the placement layer falls
+back to the teacher otherwise, so low-margin (ambiguous) content never
+drifts away from the teacher's clustering.  Distillation fidelity is
+recorded on :attr:`StudentPlacer.train_agreement` and surfaced through the
+engine's retrain stats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.optim import Adam
+from repro.util.rng import rng_from_seed
+
+#: Byte-histogram feature width (one bin per byte value) plus the
+#: length-fraction feature.
+N_BYTE_BINS = 256
+N_FEATURES = N_BYTE_BINS + 1
+
+
+def featurize_values(values, segment_size: int) -> np.ndarray:
+    """Feature rows for raw byte values: normalised byte histogram plus the
+    value's length as a fraction of the segment size.
+
+    Padding never enters the features — the student learns content → cluster
+    directly, with the length feature standing in for how much padding the
+    teacher would have seen.
+    """
+    if segment_size <= 0:
+        raise ValueError("segment_size must be positive")
+    out = np.zeros((len(values), N_FEATURES), dtype=np.float64)
+    for i, value in enumerate(values):
+        arr = np.frombuffer(bytes(value), dtype=np.uint8)
+        if arr.size:
+            out[i, :N_BYTE_BINS] = np.bincount(arr, minlength=N_BYTE_BINS) / arr.size
+        out[i, N_BYTE_BINS] = arr.size / segment_size
+    return out
+
+
+def featurize_bits(segment_bits: np.ndarray, segment_size: int) -> np.ndarray:
+    """Feature rows for full-width segment *bit* contents (the distillation
+    set): pack each row back to bytes and histogram those."""
+    X = np.atleast_2d(np.asarray(segment_bits))
+    packed = np.packbits((X > 0.5).astype(np.uint8), axis=1)
+    return featurize_values([row.tobytes() for row in packed], segment_size)
+
+
+class StudentPlacer:
+    """Multinomial logistic head distilled from the VAE+K-means teacher.
+
+    Args:
+        n_clusters: K, matching the teacher's cluster count.
+        segment_size: bytes per memory segment (the length-feature scale).
+        seed: RNG seed for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        segment_size: int,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        if segment_size <= 0:
+            raise ValueError("segment_size must be positive")
+        self.n_clusters = n_clusters
+        self.segment_size = segment_size
+        rng = rng_from_seed(seed)
+        self.W = rng.normal(0.0, 0.01, size=(N_FEATURES, n_clusters))
+        self.b = np.zeros(n_clusters)
+        self.trained = False
+        #: Fraction of the distillation set where the student's argmax
+        #: matches the teacher's label (fidelity, not accuracy — the teacher
+        #: *defines* the target).
+        self.train_agreement = 0.0
+
+    # --------------------------------------------------------------- training
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 100,
+        lr: float = 0.05,
+    ) -> "StudentPlacer":
+        """Distill: fit the head to the teacher's ``labels`` by full-batch
+        softmax regression (cross-entropy, Adam)."""
+        F = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        y = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if len(F) != len(y):
+            raise ValueError("features and labels disagree on length")
+        if len(F) == 0:
+            raise ValueError("cannot distill from an empty set")
+        if F.shape[1] != N_FEATURES:
+            raise ValueError(
+                f"features have {F.shape[1]} columns, expected {N_FEATURES}"
+            )
+        onehot = np.zeros((len(y), self.n_clusters))
+        onehot[np.arange(len(y)), y] = 1.0
+        optimizer = Adam(lr=lr)
+        n = len(F)
+        for _ in range(max(1, epochs)):
+            probs = self._softmax(F @ self.W + self.b)
+            delta = (probs - onehot) / n
+            grad_w = F.T @ delta
+            grad_b = delta.sum(axis=0)
+            optimizer.step([self.W, self.b], [grad_w, grad_b])
+        self.trained = True
+        preds = np.argmax(F @ self.W + self.b, axis=1)
+        self.train_agreement = float(np.mean(preds == y))
+        return self
+
+    # -------------------------------------------------------------- inference
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-cluster softmax probabilities for feature rows."""
+        F = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return self._softmax(F @ self.W + self.b)
+
+    def predict(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(cluster_ids, confidences)`` for feature rows — confidence is
+        the winning cluster's softmax probability, which the placement layer
+        compares against its serving threshold."""
+        probs = self.predict_proba(features)
+        labels = probs.argmax(axis=1)
+        return labels.astype(np.int64), probs[np.arange(len(probs)), labels]
+
+    def predict_values(
+        self, values, segment_size: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Convenience: featurise raw byte values and predict."""
+        return self.predict(
+            featurize_values(values, segment_size or self.segment_size)
+        )
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        """Parameter arrays in serialisation order."""
+        return [self.W, self.b]
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=1, keepdims=True)

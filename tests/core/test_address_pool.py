@@ -94,6 +94,40 @@ class TestFallback:
         with pytest.raises(RuntimeError):
             pool.get(0)
 
+    def test_fallback_memo_safe_after_retirement(self):
+        """Retiring addresses *between* model swaps must not stale the
+        nearest-cluster fallback memo: the memo holds only cluster visit
+        order and every candidate's free list is re-read at use time, so a
+        freshly retired address can never be popped via fallback."""
+        pool = DynamicAddressPool(3)
+        pool.populate([1, 1, 2], [10, 20, 30])
+        centroids = np.array([[0.0, 0.0], [0.5, 0.5], [5.0, 5.0]])
+        # Prime the memo: cluster 0 falls back to its nearest neighbour 1.
+        assert pool.get(0, centroids=centroids) == 10
+        # Retire the rest of cluster 1 without touching the centroids (the
+        # health manager retires mid-epoch; no model swap happens).
+        pool.quarantine(20)
+        # Same memoised visit order, but cluster 1 is now empty: the
+        # fallback must skip to cluster 2, not resurrect address 20.
+        assert pool.get(0, centroids=centroids) == 30
+        with pytest.raises(RuntimeError):
+            pool.get(0, centroids=centroids)
+
+    def test_fallback_never_pops_quarantined_address(self):
+        pool = DynamicAddressPool(2)
+        pool.populate([1, 1], [10, 20])
+        pool.quarantine(10)
+        centroids = np.array([[0.0], [1.0]])
+        assert pool.get(0, centroids=centroids) == 20
+
+    def test_get_many_fallback_respects_quarantine(self):
+        pool = DynamicAddressPool(3)
+        pool.populate([1, 1, 2], [10, 20, 30])
+        centroids = np.array([[0.0, 0.0], [0.5, 0.5], [5.0, 5.0]])
+        pool.quarantine(10)
+        # Batch claim hitting empty cluster 0 twice: 20 (nearest), then 30.
+        assert pool.get_many([0, 0], centroids=centroids) == [20, 30]
+
 
 class TestFootprint:
     def test_footprint_scales_with_entries(self):

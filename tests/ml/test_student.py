@@ -1,0 +1,120 @@
+"""Distilled student placer: featurisation, distillation, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.student import (
+    N_BYTE_BINS,
+    N_FEATURES,
+    StudentPlacer,
+    featurize_bits,
+    featurize_values,
+)
+from repro.ml.serialization import load_student, save_student
+
+
+def _three_regime_values(n_per: int, length: int, seed: int = 0):
+    """Byte values from three clearly separable content regimes."""
+    rng = np.random.default_rng(seed)
+    values, labels = [], []
+    for label, (lo, hi) in enumerate([(0, 30), (110, 150), (225, 256)]):
+        for _ in range(n_per):
+            values.append(
+                rng.integers(lo, hi, size=length, dtype=np.uint8).tobytes()
+            )
+            labels.append(label)
+    return values, np.array(labels)
+
+
+class TestFeaturize:
+    def test_histogram_normalised_and_length_feature(self):
+        F = featurize_values([b"\x00\x00\xff\xff", b"\x01"], segment_size=8)
+        assert F.shape == (2, N_FEATURES)
+        assert F[0, 0] == pytest.approx(0.5)
+        assert F[0, 255] == pytest.approx(0.5)
+        assert F[0, N_BYTE_BINS] == pytest.approx(4 / 8)
+        assert F[1, 1] == pytest.approx(1.0)
+        assert F[1, N_BYTE_BINS] == pytest.approx(1 / 8)
+        np.testing.assert_allclose(F[:, :N_BYTE_BINS].sum(axis=1), 1.0)
+
+    def test_empty_value_is_all_zero(self):
+        F = featurize_values([b""], segment_size=8)
+        assert not F.any()
+
+    def test_featurize_bits_matches_packed_bytes(self):
+        rng = np.random.default_rng(3)
+        raw = rng.integers(0, 256, size=(4, 16), dtype=np.uint8)
+        bits = np.unpackbits(raw, axis=1).astype(np.float64)
+        direct = featurize_values([row.tobytes() for row in raw], 16)
+        via_bits = featurize_bits(bits, 16)
+        np.testing.assert_allclose(via_bits, direct)
+
+
+class TestStudentFit:
+    def test_distills_separable_regimes_with_high_fidelity(self):
+        values, labels = _three_regime_values(30, 32, seed=1)
+        student = StudentPlacer(3, segment_size=32, seed=0)
+        student.fit(featurize_values(values, 32), labels, epochs=200, lr=0.1)
+        assert student.trained
+        assert student.train_agreement >= 0.95
+        preds, conf = student.predict_values(values)
+        assert (preds == labels).mean() >= 0.95
+        assert conf.shape == (len(values),)
+        assert np.all((0.0 <= conf) & (conf <= 1.0))
+
+    def test_confidence_is_winning_probability(self):
+        values, labels = _three_regime_values(20, 16, seed=2)
+        student = StudentPlacer(3, segment_size=16, seed=0)
+        student.fit(featurize_values(values, 16), labels, epochs=100)
+        F = featurize_values(values[:5], 16)
+        probs = student.predict_proba(F)
+        preds, conf = student.predict(F)
+        np.testing.assert_allclose(conf, probs.max(axis=1))
+        np.testing.assert_array_equal(preds, probs.argmax(axis=1))
+
+    def test_fit_rejects_bad_shapes(self):
+        student = StudentPlacer(2, segment_size=8)
+        with pytest.raises(ValueError, match="empty"):
+            student.fit(np.empty((0, N_FEATURES)), np.empty(0))
+        with pytest.raises(ValueError, match="columns"):
+            student.fit(np.zeros((2, 5)), np.zeros(2))
+        with pytest.raises(ValueError, match="length"):
+            student.fit(np.zeros((2, N_FEATURES)), np.zeros(3))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StudentPlacer(0, segment_size=8)
+        with pytest.raises(ValueError):
+            StudentPlacer(2, segment_size=0)
+
+
+class TestStudentSerialization:
+    def test_round_trip_preserves_predictions(self, tmp_path):
+        values, labels = _three_regime_values(15, 16, seed=5)
+        student = StudentPlacer(3, segment_size=16, seed=0)
+        student.fit(featurize_values(values, 16), labels, epochs=80)
+        path = tmp_path / "student.npz"
+        save_student(student, path)
+        restored = load_student(path)
+        assert restored.trained
+        assert restored.n_clusters == 3
+        assert restored.segment_size == 16
+        assert restored.train_agreement == pytest.approx(
+            student.train_agreement
+        )
+        F = featurize_values(values, 16)
+        np.testing.assert_allclose(
+            restored.predict_proba(F), student.predict_proba(F)
+        )
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        from repro.ml.lstm import LSTMPredictor
+        from repro.ml.serialization import save_lstm
+
+        lstm = LSTMPredictor(window_bits=8, chunk_bits=4, hidden_dim=4, seed=0)
+        path = tmp_path / "lstm.npz"
+        save_lstm(lstm, path)
+        with pytest.raises(ValueError, match="not a student snapshot"):
+            load_student(path)
