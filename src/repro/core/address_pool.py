@@ -136,6 +136,26 @@ class DynamicAddressPool:
                 )
             self._pools[cluster].append(int(addr))
 
+    def take(self, addr: int) -> bool:
+        """Claim a *specific* free address, removing it from whichever
+        cluster's free list holds it (directed placement: the compactor's
+        static wear-leveling swaps target the most-worn free segment).
+
+        Returns False — without mutating anything — when the address is
+        quarantined or not currently free.
+        """
+        addr = int(addr)
+        with self._lock:
+            if addr in self._quarantined:
+                return False
+            for pool in self._pools.values():
+                try:
+                    pool.remove(addr)
+                    return True
+                except ValueError:
+                    continue
+            return False
+
     # ------------------------------------------------------------ quarantine
 
     def quarantine(self, addr: int) -> None:

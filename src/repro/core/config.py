@@ -55,7 +55,22 @@ class E2NVMConfig:
             disagree with the teacher on low-margin content, which
             experiments comparing exact placements should not see.
         student_confidence: minimum softmax confidence for the student to
-            serve a prediction; below it the teacher is consulted.
+            serve a prediction; below it the teacher is consulted.  This
+            knob *interacts* with distillation fidelity: a student whose
+            train-time teacher agreement is low rarely produces confident
+            softmax outputs, so with the default 0.9 threshold it defers
+            nearly everything to the teacher — ``student_served: 0`` in
+            the placement telemetry is the designed outcome of a
+            low-agreement distillation, not a wiring failure.  Lowering
+            ``student_confidence`` trades teacher forward passes for
+            placements the teacher may disagree with.
+        student_agreement_warn: distillation-fidelity floor.  A (re)train
+            whose student's teacher agreement lands below this emits a
+            ``UserWarning``, bumps ``retrain_stats
+            .student_low_agreement_warnings`` and flags
+            ``placement_telemetry()["student_low_agreement"]`` — making a
+            student that will sit dormant behind ``student_confidence``
+            visible instead of failing silent.
         student_epochs / student_lr: distillation schedule of the student
             head (full-batch softmax regression).
         place_epoch_retries: lock-free placement retries after a model swap
@@ -89,6 +104,7 @@ class E2NVMConfig:
     fastpath_cache_size: int = 4096
     student_enabled: bool = False
     student_confidence: float = 0.9
+    student_agreement_warn: float = 0.8
     student_epochs: int = 120
     student_lr: float = 0.05
     place_epoch_retries: int = 8
@@ -107,6 +123,8 @@ class E2NVMConfig:
             raise ValueError("fastpath_cache_size must be >= 0")
         if not 0.0 <= self.student_confidence <= 1.0:
             raise ValueError("student_confidence must be in [0, 1]")
+        if not 0.0 <= self.student_agreement_warn <= 1.0:
+            raise ValueError("student_agreement_warn must be in [0, 1]")
         if self.student_epochs <= 0:
             raise ValueError("student_epochs must be positive")
         if self.place_epoch_retries < 1:

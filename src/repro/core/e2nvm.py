@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 
 import numpy as np
 
@@ -463,6 +464,52 @@ class E2NVM:
         self.record_committed_writes(len(values))
         return list(zip(addrs, results))
 
+    def claim_address(self, addr: int) -> bool:
+        """Claim a *specific* free address out of the DAP (directed
+        placement — the compactor's wear-leveling swaps choose their
+        target segment by wear, not by content cluster).
+
+        Returns False when the address is quarantined, allocated or
+        otherwise not free; the DAP is left untouched in that case.
+        """
+        self._check_segment_address(addr)
+        with self._swap_lock:
+            if not self.dap.take(addr):
+                return False
+            self._allocated.add(addr)
+            return True
+
+    def write_at(self, addr: int, value: bytes) -> WriteResult:
+        """Differential-write ``value`` at an already-claimed address (the
+        directed-migration path; claim with :meth:`claim_address`).
+
+        Same error contract as :meth:`write`, minus placement: on
+        :class:`SegmentRetiredError` the address is quarantined before the
+        error propagates (the caller re-targets); on any other failure it
+        is released back into the DAP.
+        """
+        if len(value) > self.segment_size:
+            raise ValueError(
+                f"value of {len(value)} bytes exceeds segment size "
+                f"{self.segment_size}"
+            )
+        if addr not in self._allocated:
+            raise KeyError(f"address {addr} is not claimed")
+        try:
+            if self.faults is not None:
+                self.faults.fire("device.write")
+            result = self.controller.write(addr, value)
+        except SegmentRetiredError:
+            self.failed_writes += 1
+            self.quarantine_address(addr)
+            raise
+        except BaseException:
+            self.failed_writes += 1
+            self.release(addr)
+            raise
+        self.record_committed_write()
+        return result
+
     def record_committed_write(self) -> None:
         """Post-write bookkeeping: retrain policy, padding-statistics
         refresh, and the never-failing ``auto_retrain`` hook.
@@ -739,6 +786,7 @@ class E2NVM:
             raise
         self._refresh_ones_fraction(contents)
         duration = time.perf_counter() - start
+        low_agreement = False
         with self._retrain_admin_lock:
             if was_retrain:
                 self.retrain_stats.succeeded += 1
@@ -749,7 +797,24 @@ class E2NVM:
                 self.retrain_stats.last_student_agreement = (
                     student.train_agreement
                 )
+                if (
+                    student.train_agreement
+                    < self.config.student_agreement_warn
+                ):
+                    self.retrain_stats.student_low_agreement_warnings += 1
+                    low_agreement = True
             self._retrain_pending = False
+        if student is not None and low_agreement:
+            warnings.warn(
+                f"distilled student agrees with the teacher on only "
+                f"{student.train_agreement:.0%} of the training sample "
+                f"(< student_agreement_warn="
+                f"{self.config.student_agreement_warn:.0%}); at "
+                f"student_confidence={self.config.student_confidence} it "
+                "will defer most placements to the teacher "
+                "(student_served stays ~0)",
+                stacklevel=2,
+            )
         self.policy.record_retrain()
         return history
 
@@ -790,8 +855,20 @@ class E2NVM:
 
     def placement_telemetry(self) -> dict:
         """Fast placement layer telemetry (cache hits/misses/evictions,
-        student served/deferred, teacher fallbacks)."""
-        return self.fast.stats()
+        student served/deferred, teacher fallbacks), plus the
+        low-agreement flag: a trained student whose distillation fidelity
+        sits below ``config.student_agreement_warn`` will rarely clear the
+        ``student_confidence`` serving threshold — ``student_served: 0``
+        alongside ``student_low_agreement: True`` means the student is
+        dormant by design, not silently broken."""
+        out = self.fast.stats()
+        out["student_agreement_warn"] = self.config.student_agreement_warn
+        out["student_low_agreement"] = bool(
+            out["student_trained"]
+            and out["student_train_agreement"]
+            < self.config.student_agreement_warn
+        )
+        return out
 
     def _swap_in(
         self,

@@ -74,6 +74,11 @@ class RecoveryReport:
     #: stay in place — GET repairs them on demand or raises
     #: :class:`CorruptValueError`, and an attached scrubber heals them.
     crc_mismatches: int = 0
+    #: Drained retiring segments the recovery scan reclaimed into the
+    #: spares pool (the crash-safe replay of ``HealthManager.reclaim``:
+    #: a retiring segment with no live catalog record was fully
+    #: evacuated before the crash).
+    reclaimed_segments: int = 0
 
 
 class KVStore:
@@ -125,9 +130,20 @@ class KVStore:
         # attached, the read path can refresh-write a drifted segment to
         # repair a CRC mismatch instead of raising CorruptValueError.
         self.scrubber = None
+        # Optional background compactor (repro.nvm.compactor.Compactor):
+        # drains the relocation queue and runs static wear-leveling swaps
+        # off the PUT path.
+        self.compactor = None
         self.corrupt_reads_detected = 0
         self.read_repairs = 0
         self.corrupt_relocations_skipped = 0
+        # Write-temperature tracking for static wear leveling: a per-address
+        # "last user write" sequence stamp.  Migrations forward the stamp
+        # unchanged (moving a value does not make it hot), so coldness =
+        # _write_seq - stamp measures genuine dormancy.  DRAM-only; recovery
+        # re-seeds it from catalog epochs (an equivalent monotone clock).
+        self._heat_by_addr: dict[int, int] = {}
+        self._write_seq = 0
 
     # ------------------------------------------------------- durable set-up
 
@@ -227,8 +243,21 @@ class KVStore:
         health_state = pool.controller.device.health
         unplaceable: set[int] = set()
         spare_addrs: set[int] = set()
+        reclaimed_on_open = 0
         if health_state is not None:
             seg_size = pool.segment_size
+            # Crash-safe reclamation replay: a retiring segment with no
+            # live catalog record was fully drained before the crash.
+            # Fold it into the spares pool instead of stranding it — the
+            # ``compact.reclaim`` site fires *before* the health-state
+            # mutation, so recovery always redoes an interrupted reclaim.
+            for seg in sorted(health_state.retiring):
+                if seg * seg_size in taken:
+                    continue
+                health_state.retiring.discard(seg)
+                health_state.reclaimed.add(seg)
+                health_state.spares.append(seg * seg_size)
+                reclaimed_on_open += 1
             unplaceable = {
                 s * seg_size
                 for s in health_state.retired | health_state.retiring
@@ -264,6 +293,13 @@ class KVStore:
             store._valid[addr] = True
             store._by_addr[addr] = key
             store._crc_by_addr[addr] = entry.crc
+            # Approximate the write-temperature stamp from the persisted
+            # epoch: both are monotone per-PUT clocks, so relative
+            # coldness survives the crash even though the DRAM heat map
+            # does not.  (Migration bumps the epoch, so a value moved by
+            # wear leveling looks warmer after recovery than before — a
+            # conservative error: it only delays re-migrating it.)
+            store._heat_by_addr[addr] = entry.epoch
             # Recovery-time integrity scan: verify every live value against
             # its persisted CRC.  Mismatches (resistance drift while the
             # store was down, or media damage) are only *counted* here —
@@ -272,6 +308,7 @@ class KVStore:
             if zlib.crc32(value) & 0xFFFFFFFF != entry.crc:
                 crc_mismatches += 1
         store._next_epoch = max_epoch + 1
+        store._write_seq = max_epoch
 
         if health_state is not None:
             # Quarantine every dead/dying/spare address in the rebuilt
@@ -294,6 +331,7 @@ class KVStore:
             duplicate_keys_dropped=dropped,
             max_epoch=max_epoch,
             crc_mismatches=crc_mismatches,
+            reclaimed_segments=reclaimed_on_open,
         )
         return store
 
@@ -382,10 +420,20 @@ class KVStore:
         try:
             addr, _ = self.engine.write(value)
         except PoolExhaustedError as exc:
-            self._enter_read_only(exc)
+            # The engine exhausted free capacity *and* reserved spares.
+            # Before degrading, try to reclaim stranded drained retiring
+            # segments into spares and retry once.
+            if not self._reclaim_stranded():
+                self._enter_read_only(exc)
+            try:
+                addr, _ = self.engine.write(value)
+            except PoolExhaustedError as exc2:
+                self._enter_read_only(exc2)
         self._valid[addr] = True
         self._by_addr[addr] = key
         self._crc_by_addr[addr] = zlib.crc32(value) & 0xFFFFFFFF
+        self._write_seq += 1
+        self._heat_by_addr[addr] = self._write_seq
         self.index.put(key, (addr, len(value)))
         if old is not None:
             # UPDATE: the previous location is recycled (Algorithm 2's path).
@@ -393,6 +441,7 @@ class KVStore:
             self._valid[old_addr] = False
             self._by_addr.pop(old_addr, None)
             self._crc_by_addr.pop(old_addr, None)
+            self._heat_by_addr.pop(old_addr, None)
             self._recycle_addr(old_addr)
         return addr
 
@@ -400,7 +449,14 @@ class KVStore:
         try:
             results = self.engine.write_many([value for _, value in items])
         except PoolExhaustedError as exc:
-            self._enter_read_only(exc)
+            if not self._reclaim_stranded():
+                self._enter_read_only(exc)
+            try:
+                results = self.engine.write_many(
+                    [value for _, value in items]
+                )
+            except PoolExhaustedError as exc2:
+                self._enter_read_only(exc2)
         addrs: list[int] = []
         stale: list[int] = []
         for (key, value), (addr, _) in zip(items, results):
@@ -408,17 +464,34 @@ class KVStore:
             self._valid[addr] = True
             self._by_addr[addr] = key
             self._crc_by_addr[addr] = zlib.crc32(value) & 0xFFFFFFFF
+            self._write_seq += 1
+            self._heat_by_addr[addr] = self._write_seq
             self.index.put(key, (addr, len(value)))
             if old is not None:
                 old_addr, _ = old
                 self._valid[old_addr] = False
                 self._by_addr.pop(old_addr, None)
                 self._crc_by_addr.pop(old_addr, None)
+                self._heat_by_addr.pop(old_addr, None)
                 stale.append(old_addr)
             addrs.append(addr)
         if stale:
-            # UPDATEs: previous locations recycled in one re-encoding pass.
-            self.engine.release_many(stale)
+            # UPDATEs: healthy previous locations recycle in one
+            # re-encoding pass; dying ones route through _recycle_addr so
+            # retirement/reclamation bookkeeping happens per address.
+            health = self.engine.health
+            if health is None:
+                self.engine.release_many(stale)
+            else:
+                healthy = []
+                for old_addr in stale:
+                    seg = old_addr // self.engine.segment_size
+                    if health.is_unplaceable(seg):
+                        self._recycle_addr(old_addr)
+                    else:
+                        healthy.append(old_addr)
+                if healthy:
+                    self.engine.release_many(healthy)
         return addrs
 
     def _put_durable(self, key: bytes, value: bytes) -> int:
@@ -439,8 +512,15 @@ class KVStore:
                 addr = self.engine.place(value)
             except PoolExhaustedError as exc:
                 # Free capacity ran dry: a remaining reserved spare can
-                # still save the PUT; only true exhaustion degrades.
+                # still save the PUT, and when even spares are gone,
+                # reclaiming a stranded drained retiring segment can mint
+                # one more; only true exhaustion degrades.
                 if self.engine.adopt_spare() is not None:
+                    continue
+                if (
+                    self._reclaim_stranded()
+                    and self.engine.adopt_spare() is not None
+                ):
                     continue
                 self._enter_read_only(exc)
             try:
@@ -510,13 +590,19 @@ class KVStore:
                 self.engine.faults.fire("device.write")
             with self.pool.transaction() as tx:
                 tx.write(addr, value)
-                self.catalog.tx_set(
-                    tx, self.pool.object_index(addr), key, len(value), epoch,
-                    crc=crc,
-                )
                 if old is not None:
-                    self.catalog.tx_clear(
-                        tx, self.pool.object_index(old[0])
+                    # Record forwarding: full record at the new slot, old
+                    # flag reset, one transaction (newest-epoch-wins keeps
+                    # exactly one copy across any crash point).
+                    self.catalog.tx_move(
+                        tx, self.pool.object_index(old[0]),
+                        self.pool.object_index(addr), key, len(value),
+                        epoch, crc=crc,
+                    )
+                else:
+                    self.catalog.tx_set(
+                        tx, self.pool.object_index(addr), key, len(value),
+                        epoch, crc=crc,
                     )
         except CrashError:
             # Simulated process death: no DRAM cleanup — the harness
@@ -532,6 +618,8 @@ class KVStore:
         self._valid[addr] = True
         self._by_addr[addr] = key
         self._crc_by_addr[addr] = crc
+        self._write_seq += 1
+        self._heat_by_addr[addr] = self._write_seq
         self.index.put(key, (addr, len(value)))
         self.pool.mark_allocated(addr)
         if old is not None:
@@ -539,6 +627,7 @@ class KVStore:
             self._valid[old_addr] = False
             self._by_addr.pop(old_addr, None)
             self._crc_by_addr.pop(old_addr, None)
+            self._heat_by_addr.pop(old_addr, None)
             self._recycle_addr(old_addr)
 
     def get(self, key: bytes) -> bytes | None:
@@ -559,6 +648,26 @@ class KVStore:
         """Register a :class:`~repro.nvm.scrubber.Scrubber` so CRC-failed
         reads can attempt a refresh-write repair before giving up."""
         self.scrubber = scrubber
+
+    def attach_compactor(self, compactor) -> None:
+        """Register a :class:`~repro.nvm.compactor.Compactor` (capacity
+        reclamation + static wear leveling); test harnesses drive it
+        synchronously through ``store.compactor.compact_round()``."""
+        self.compactor = compactor
+
+    @property
+    def write_seq(self) -> int:
+        """Monotone user-write clock backing the per-address temperature
+        stamps (coldness of an address = ``write_seq`` minus its stamp)."""
+        return self._write_seq
+
+    def heat_of(self, addr: int) -> int | None:
+        """Temperature stamp of a live address (``None`` when untracked)."""
+        return self._heat_by_addr.get(addr)
+
+    def _fire_site(self, site: str) -> None:
+        if self.engine.faults is not None:
+            self.engine.faults.fire(site)
 
     def _read_value(self, key: bytes) -> bytes | None:
         """Read, verify and (if needed) repair the value of ``key``.
@@ -638,6 +747,7 @@ class KVStore:
         self._valid[addr] = False
         self._by_addr.pop(addr, None)
         self._crc_by_addr.pop(addr, None)
+        self._heat_by_addr.pop(addr, None)
         self._recycle_addr(addr)
         return True
 
@@ -645,18 +755,65 @@ class KVStore:
 
     def _recycle_addr(self, old_addr: int) -> None:
         """Recycle a no-longer-live address through the engine *and* (in
-        durable mode) the pool allocator — except that a retired or
-        retiring segment is quarantined/retired instead of re-pooled."""
+        durable mode) the pool allocator — except that dying segments do
+        not re-pool:
+
+        - a *retired* segment's media is dead: it is retired in the
+          allocator and quarantined in the DAP, for good;
+        - a *retiring* segment that this free has just fully drained (one
+          value per segment) is **reclaimed**: its address joins the
+          spares list as spare-class capacity instead of being stranded
+          (see :meth:`HealthManager.reclaim`).  The ``compact.reclaim``
+          site fires inside ``reclaim()`` before the health-state
+          mutation; a crash there is idempotent because recovery reclaims
+          any drained retiring segment it finds.
+        """
         health = self.engine.health
-        dying = health is not None and health.is_unplaceable(
-            old_addr // self.engine.segment_size
-        )
-        if self.pool is not None:
-            if dying:
-                self.pool.retire(old_addr)
-            else:
+        seg = old_addr // self.engine.segment_size
+        if health is None or not health.is_unplaceable(seg):
+            if self.pool is not None:
                 self.pool.free(old_addr)
-        self.engine.release(old_addr)
+            self.engine.release(old_addr)
+            return
+        if health.is_retired(seg):
+            if self.pool is not None:
+                self.pool.retire(old_addr)
+            self.engine.release(old_addr)  # quarantined by the release
+            return
+        # Retiring and now empty: reclaim into the spares pool.  The
+        # address stays free in the allocator and quarantined in the DAP
+        # (exactly like a reserved spare) until adopt_spare() activates it.
+        if self.pool is not None:
+            self.pool.free(old_addr)
+        self.engine.quarantine_address(old_addr)
+        health.reclaim(seg)
+
+    def _reclaim_stranded(self) -> int:
+        """Last-ditch reclamation before read-only degradation: fold any
+        *drained* retiring segment — one that no longer holds a live value
+        but was never recycled through :meth:`_recycle_addr` (e.g. freed
+        by an engine-level release) — into the spares list.  Returns how
+        many segments were reclaimed."""
+        health = self.engine.health
+        if health is None:
+            return 0
+        count = 0
+        for seg in sorted(health.state.retiring):
+            addr = seg * self.engine.segment_size
+            if self._by_addr.get(addr) is not None:
+                continue  # live value; the relocation queue drains it
+            if (
+                self.pool is not None
+                and addr in self.pool.retired_addresses()
+            ):
+                # Recorded as dead in the allocator (a pre-reclamation
+                # incarnation stranded it); resurrecting it here would
+                # desynchronise the allocator. Leave it.
+                continue
+            if health.reclaim(seg) is not None:
+                self.engine.quarantine_address(addr)
+                count += 1
+        return count
 
     def _enter_read_only(self, exc: BaseException):
         """Pool exhaustion under a wear-out model means capacity is truly
@@ -672,26 +829,41 @@ class KVStore:
         ) from exc
 
     def _maybe_relocate(self) -> None:
+        """Drain the whole relocation queue opportunistically at the
+        *start* of every PUT (see :meth:`drain_relocations`): relocations
+        are content-neutral, so doing them before this PUT's own write
+        adds no window where a crash could leave the caller's PUT
+        committed but unacknowledged."""
+        self.drain_relocations()
+
+    def drain_relocations(self, budget: int | None = None) -> int:
         """Evacuate live values off retiring segments (ECP at capacity).
 
-        Runs opportunistically at the *start* of every PUT: each queued
-        segment's value is read back (patched through its ECP entries),
-        re-placed via a normal PUT — the ``health.relocate`` fault site
-        fires just before the rewrite — and the dying segment is retired
-        from the allocators by the PUT's own update path.  Relocations are
-        content-neutral, so they add no window where a crash could leave
-        the *caller's* PUT committed but unacknowledged.  Re-entrant PUTs
-        the relocation itself performs are guarded from recursing.
+        Each queued segment's value is read back (patched through its ECP
+        entries), re-placed via a normal PUT — the ``health.relocate``
+        fault site fires just before the rewrite — and the drained dying
+        segment is reclaimed (or retired) by the PUT's own update path.
+        Re-entrant PUTs the relocation itself performs are guarded from
+        recursing.
+
+        Args:
+            budget: queue entries to process at most (the compactor's
+                rate limit); ``None`` drains the whole queue.
+
+        Returns the number of values actually moved.
         """
         health = self.engine.health
         if health is None or self._relocating or self._read_only:
-            return
+            return 0
+        moved = 0
+        popped = 0
         self._relocating = True
         try:
-            while True:
+            while budget is None or popped < budget:
                 seg = health.pop_pending_relocation()
                 if seg is None:
-                    return
+                    return moved
+                popped += 1
                 addr = seg * self.engine.segment_size
                 key = self._by_addr.get(addr)
                 if key is None:
@@ -719,9 +891,87 @@ class KVStore:
                     # readable where it is (its ECP entries still hold);
                     # re-queue so a future incarnation can retry.
                     health.queue_relocation(seg)
-                    return
+                    return moved
+                moved += 1
         finally:
             self._relocating = False
+        return moved
+
+    def migrate(self, key: bytes, target_addr: int) -> bool:
+        """Move the live value of ``key`` onto the specific free segment
+        at ``target_addr`` — the compactor's static wear-leveling
+        primitive (cold data is parked on worn media; the barely-worn
+        segment it vacates re-enters the free pool).
+
+        The move reuses the normal transactional PUT path end to end —
+        DCW differential write, energy/endurance accounting, CRC, catalog
+        record forwarding (:meth:`PersistentCatalog.tx_move`) — so fsck
+        and the crash sweep stay authoritative over migrated values, and a
+        crash at any point leaves exactly one committed copy.  The value's
+        write-temperature stamp is forwarded unchanged: migration must not
+        make cold data look hot.
+
+        Fault sites: ``compact.migrate`` fires after the target is
+        claimed, before any media write; the usual ``device.write`` site
+        fires inside the write itself.
+
+        Returns True when the value now lives at ``target_addr``; False
+        when nothing needed to change or the move was refused (unknown
+        key, busy/quarantined target, unreadable value, store read-only)
+        — except that a target retiring mid-write is quarantined and a
+        spare adopted in its place before returning False.
+        """
+        if self._read_only:
+            return False
+        entry = self.index.get(key)
+        if entry is None:
+            return False
+        old_addr, _ = entry
+        if old_addr == target_addr:
+            return False
+        try:
+            value = self._read_value(key)
+        except CorruptValueError:
+            self.corrupt_relocations_skipped += 1
+            return False
+        if value is None:
+            return False
+        if not self.engine.claim_address(target_addr):
+            return False
+        heat = self._heat_by_addr.get(old_addr)
+        self._fire_site("compact.migrate")
+        if self.pool is None:
+            try:
+                self.engine.write_at(target_addr, value)
+            except SegmentRetiredError:
+                self.engine.adopt_spare()
+                return False
+            self._valid[target_addr] = True
+            self._by_addr[target_addr] = key
+            self._crc_by_addr[target_addr] = zlib.crc32(value) & 0xFFFFFFFF
+            self.index.put(key, (target_addr, len(value)))
+            self._valid[old_addr] = False
+            self._by_addr.pop(old_addr, None)
+            self._crc_by_addr.pop(old_addr, None)
+            self._heat_by_addr.pop(old_addr, None)
+            self._recycle_addr(old_addr)
+        else:
+            try:
+                self._commit_durable(key, value, target_addr)
+            except CrashError:
+                raise
+            except SegmentRetiredError:
+                # _commit_durable already released (and the engine
+                # quarantined) the dead target; mirror it in the
+                # allocator and pull in a spare.
+                self.pool.retire(target_addr)
+                self.engine.adopt_spare()
+                return False
+        if heat is not None:
+            # Forward the temperature stamp (the fresh-write stamp the
+            # commit path set would make every migrated value look hot).
+            self._heat_by_addr[target_addr] = heat
+        return True
 
     def placement_telemetry(self) -> dict:
         """Fast placement layer telemetry for this store's engine.

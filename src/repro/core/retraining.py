@@ -57,6 +57,10 @@ class RetrainStats:
     #: Distillation fidelity of the most recent student (fraction of the
     #: training sample where its argmax matched the teacher's label).
     last_student_agreement: float = 0.0
+    #: Distillations whose teacher agreement fell below
+    #: ``config.student_agreement_warn`` — such a student rarely clears
+    #: the ``student_confidence`` serving threshold and sits dormant.
+    student_low_agreement_warnings: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Flat dict view (benchmark reporting)."""
@@ -70,6 +74,9 @@ class RetrainStats:
             "total_retrain_s": self.total_duration_s,
             "student_refreshes": self.student_refreshes,
             "last_student_agreement": self.last_student_agreement,
+            "student_low_agreement_warnings": (
+                self.student_low_agreement_warnings
+            ),
         }
 
 

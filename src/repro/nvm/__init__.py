@@ -20,6 +20,10 @@ the paper:
 - :mod:`repro.nvm.scrubber` — the background retention scrubber that
   detects and refresh-writes resistance-drifted cells (the read-side
   fault model enabled by :class:`~repro.nvm.device.DriftConfig`).
+- :mod:`repro.nvm.compactor` — background capacity reclamation:
+  compaction of retiring segments and static (cold-data) wear leveling,
+  sharing the scrubber's :class:`~repro.nvm.worker.MaintenanceWorker`
+  loop.
 """
 
 from repro.nvm.device import (
@@ -40,8 +44,13 @@ from repro.nvm.wear_leveling import (
 )
 from repro.nvm.controller import MemoryController
 from repro.nvm.scrubber import ScrubStats, Scrubber
+from repro.nvm.compactor import CompactorStats, Compactor
+from repro.nvm.worker import MaintenanceWorker
 
 __all__ = [
+    "Compactor",
+    "CompactorStats",
+    "MaintenanceWorker",
     "DriftConfig",
     "NVMDevice",
     "WearOutConfig",

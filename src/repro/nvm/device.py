@@ -823,10 +823,15 @@ class NVMDevice:
             arrays["ecp_segments"] = segs
             arrays["ecp_offsets"] = offs
             arrays["ecp_values"] = vals
-            retired, retiring, spares = self.health.snapshot_arrays()
+            retired, retiring, spares, reclaimed = (
+                self.health.snapshot_arrays()
+            )
             arrays["health_retired"] = np.asarray(retired, dtype=np.int64)
             arrays["health_retiring"] = np.asarray(retiring, dtype=np.int64)
             arrays["health_spares"] = np.asarray(spares, dtype=np.int64)
+            arrays["health_reclaimed"] = np.asarray(
+                reclaimed, dtype=np.int64
+            )
         if self.drift is not None:
             cfg = self.drift
             arrays["drift_params"] = np.array(
@@ -907,6 +912,11 @@ class NVMDevice:
                     archive["health_retired"],
                     archive["health_retiring"],
                     archive["health_spares"],
+                    # Snapshots from before capacity reclamation carry no
+                    # reclaimed set; treat them as having none.
+                    archive["health_reclaimed"]
+                    if "health_reclaimed" in archive
+                    else (),
                 )
             if drift is not None:
                 # Restore the exact budgets, timers, clock and drifted set

@@ -25,6 +25,16 @@ verify-after-write would need more ECP entries than the segment has left
 raises :class:`SegmentRetiredError`; the placement engine quarantines the
 address, adopts a spare when one is reserved, and retries.  Once spares
 and free capacity are exhausted the KV store degrades to read-only.
+
+Reclamation (see README "Capacity lifecycle"): a *retiring* segment whose
+live value has been evacuated is not stranded — :meth:`HealthManager
+.reclaim` moves it out of the retiring set and appends its address to the
+spares list, marking it *reclaimed*.  A reclaimed segment is at ECP
+capacity but every cell still reads correctly; it re-enters service as
+spare-class capacity (the next :meth:`take_spare` hands it out) and dies
+for real only when a later write exceeds its ECP budget.  ``mark_retiring``
+is a no-op for reclaimed segments — they are *expected* to sit at capacity,
+and re-queuing them on every write would relocate their values forever.
 """
 
 from __future__ import annotations
@@ -61,19 +71,26 @@ class HealthState:
         self.retiring: set[int] = set()
         #: Reserved spare segment addresses, handed out FIFO on retirement.
         self.spares: list[int] = []
+        #: Segments that reached ECP capacity, were drained, and returned
+        #: to service as spare-class capacity.  Kept so ``mark_retiring``
+        #: knows not to re-queue them (they run at capacity by design).
+        self.reclaimed: set[int] = set()
 
     def snapshot_arrays(self):
-        """(retired, retiring, spares) as plain int lists for ``np.savez``."""
+        """(retired, retiring, spares, reclaimed) as plain int lists for
+        ``np.savez``."""
         return (
             sorted(self.retired),
             sorted(self.retiring),
             list(self.spares),
+            sorted(self.reclaimed),
         )
 
-    def restore_arrays(self, retired, retiring, spares) -> None:
+    def restore_arrays(self, retired, retiring, spares, reclaimed=()) -> None:
         self.retired = {int(s) for s in retired}
         self.retiring = {int(s) for s in retiring}
         self.spares = [int(a) for a in spares]
+        self.reclaimed = {int(s) for s in reclaimed}
 
 
 class HealthManager:
@@ -100,6 +117,12 @@ class HealthManager:
         # persisted retiring set intersected with the live index.
         self._pending: deque[int] = deque()
         self._pending_set: set[int] = set()
+        #: Duplicate enqueue attempts the idempotence guard dropped (the
+        #: scrubber's repeat-offender escalation re-reports the same
+        #: segment every round until it is drained).
+        self.relocation_duplicates_dropped = 0
+        #: Cumulative segments reclaimed into spare-class service.
+        self.reclaimed_total = 0
 
     # ------------------------------------------------------------ transitions
 
@@ -112,6 +135,15 @@ class HealthManager:
         self._fire("health.retire")
         self.state.retired.add(segment)
         self.state.retiring.discard(segment)
+        if segment in self.state.reclaimed:
+            # A reclaimed (spare-class) segment died for real: it must not
+            # linger in the spares list, or the next activation would hand
+            # out dead media.
+            self.state.reclaimed.discard(segment)
+            seg_size = self.controller.segment_size
+            self.state.spares = [
+                a for a in self.state.spares if a // seg_size != segment
+            ]
         if segment in self._pending_set:
             self._pending_set.discard(segment)
             try:
@@ -120,18 +152,58 @@ class HealthManager:
                 pass
 
     def mark_retiring(self, segment: int) -> None:
-        """Queue a segment that just hit ECP capacity for evacuation."""
-        if segment in self.state.retired or segment in self.state.retiring:
+        """Queue a segment that just hit ECP capacity for evacuation.
+
+        Reclaimed (spare-class) segments are exempt: they sit at ECP
+        capacity *by design*, and re-queuing them on every write would
+        evacuate-and-reclaim the same media forever."""
+        if (
+            segment in self.state.retired
+            or segment in self.state.retiring
+            or segment in self.state.reclaimed
+        ):
             return
         self.state.retiring.add(segment)
         self.queue_relocation(segment)
 
     def queue_relocation(self, segment: int) -> None:
         """(Re-)enqueue a retiring segment for the storage layer to drain
-        (recovery re-queues persisted retiring segments with live data)."""
-        if segment not in self._pending_set:
-            self._pending_set.add(segment)
-            self._pending.append(segment)
+        (recovery re-queues persisted retiring segments with live data).
+
+        Idempotent: a segment already pending is dropped and counted on
+        :attr:`relocation_duplicates_dropped` — the scrubber's
+        repeat-offender escalation can report the same segment every round
+        until the store drains it."""
+        if segment in self._pending_set:
+            self.relocation_duplicates_dropped += 1
+            return
+        self._pending_set.add(segment)
+        self._pending.append(segment)
+
+    def reclaim(self, segment: int) -> int | None:
+        """Return a drained *retiring* segment to service as a spare.
+
+        Fires the ``compact.reclaim`` site first (an injected crash models
+        dying before the metadata write; recovery re-runs the reclaim,
+        making it idempotent), then moves the segment out of the retiring
+        set, marks it reclaimed and appends its address to the spares list.
+        Returns the reclaimed address, or ``None`` when the segment is not
+        retiring (already reclaimed/retired calls are no-ops)."""
+        if segment not in self.state.retiring:
+            return None
+        self._fire("compact.reclaim")
+        self.state.retiring.discard(segment)
+        self.state.reclaimed.add(segment)
+        addr = segment * self.controller.segment_size
+        self.state.spares.append(addr)
+        self.reclaimed_total += 1
+        if segment in self._pending_set:
+            self._pending_set.discard(segment)
+            try:
+                self._pending.remove(segment)
+            except ValueError:
+                pass
+        return addr
 
     def pop_pending_relocation(self) -> int | None:
         """Next retiring segment awaiting evacuation, or ``None``."""
@@ -167,11 +239,26 @@ class HealthManager:
     def is_retired(self, segment: int) -> bool:
         return segment in self.state.retired
 
+    def is_retiring(self, segment: int) -> bool:
+        return segment in self.state.retiring
+
+    def is_reclaimed(self, segment: int) -> bool:
+        return segment in self.state.reclaimed
+
     def is_unplaceable(self, segment: int) -> bool:
-        """Whether placement must never hand this segment out."""
+        """Whether placement must never hand this segment out.
+
+        Reclaimed segments are *placeable*: until adopted they are barred
+        by the DAP quarantine like any reserved spare, and once adopted
+        they serve writes normally (dying for real on ECP overflow)."""
         return (
             segment in self.state.retired or segment in self.state.retiring
         )
+
+    @property
+    def relocations_pending(self) -> int:
+        """Segments currently queued for evacuation."""
+        return len(self._pending)
 
     def telemetry(self) -> dict:
         """Degradation snapshot for monitoring and the lifetime benchmark."""
@@ -186,7 +273,13 @@ class HealthManager:
             ),
             "segments_retired": dead,
             "segments_retiring": len(self.state.retiring),
+            "segments_reclaimed": len(self.state.reclaimed),
+            "segments_reclaimed_total": self.reclaimed_total,
             "spares_left": len(self.state.spares),
+            "relocations_pending": len(self._pending),
+            "relocation_duplicates_dropped": (
+                self.relocation_duplicates_dropped
+            ),
             "usable_capacity_fraction": (n - dead) / n if n else 0.0,
         }
 

@@ -17,8 +17,9 @@ is that loop for the simulated store:
   ``segments_per_round`` — the *rate limit* that keeps scrub bandwidth from
   starving foreground traffic;
 - :meth:`Scrubber.start` runs rounds on a single-flight, pause/resume-able,
-  exception-safe background worker modeled on the engine's retraining
-  worker: a failing round is counted and the worker keeps going, and
+  exception-safe background worker (the shared
+  :class:`~repro.nvm.worker.MaintenanceWorker` loop, also used by the
+  compactor): a failing round is counted and the worker keeps going, and
   ``pause()``/``resume()`` gate the loop without killing the thread;
 - repeat offenders — segments that keep accumulating drift, or whose value
   stays CRC-broken after a refresh — are escalated to
@@ -31,11 +32,11 @@ catalog CRC map) to keep the ``nvm`` layer import-free of ``core``.
 
 from __future__ import annotations
 
-import threading
 import zlib
 from dataclasses import dataclass
 
 from repro.nvm.health import SegmentRetiredError
+from repro.nvm.worker import MaintenanceWorker
 from repro.util.bits import popcount_array
 
 
@@ -56,7 +57,7 @@ class ScrubStats:
     backlog: int = 0
 
 
-class Scrubber:
+class Scrubber(MaintenanceWorker):
     """Rate-limited background scrub worker over a :class:`KVStore`.
 
     Args:
@@ -87,20 +88,14 @@ class Scrubber:
             raise ValueError("segments_per_round must be positive")
         if escalate_after <= 0:
             raise ValueError("escalate_after must be positive")
+        super().__init__(interval_s=interval_s, name="scrubber")
         self.store = store
         self.controller = store.engine.controller
         self.device = self.controller.device
         self.segments_per_round = segments_per_round
-        self.interval_s = interval_s
         self.escalate_after = escalate_after
         self.faults = faults if faults is not None else self.device.faults
         self.stats = ScrubStats()
-        self.last_error: BaseException | None = None
-        self._admin_lock = threading.Lock()
-        self._thread: threading.Thread | None = None
-        self._stop = threading.Event()
-        self._resume = threading.Event()
-        self._resume.set()
         # Scrub-order bookkeeping: per-segment "last scrubbed" round
         # counter and consecutive-drifty-scrub counts for escalation.
         self._round_counter = 0
@@ -202,63 +197,13 @@ class Scrubber:
 
     # ------------------------------------------------------- background loop
 
-    def start(self) -> threading.Thread:
-        """Start the single-flight background worker (idempotent: a
-        running worker's thread is returned instead of starting another).
-        """
-        with self._admin_lock:
-            if self._thread is not None and self._thread.is_alive():
-                return self._thread
-            self._stop.clear()
-            # A pause() issued before start() is honoured: the worker
-            # comes up gated until resume().
-            self._thread = threading.Thread(
-                target=self._worker, daemon=True, name="scrubber"
-            )
-            self._thread.start()
-            return self._thread
+    def run_once(self) -> dict:
+        """One background round (the :class:`MaintenanceWorker` hook)."""
+        return self.scrub_round()
 
-    def stop(self, timeout: float | None = 5.0) -> None:
-        """Stop the background worker and join it."""
-        with self._admin_lock:
-            thread = self._thread
-            self._stop.set()
-            self._resume.set()  # unblock a paused worker so it can exit
-        if thread is not None:
-            thread.join(timeout)
-
-    def pause(self) -> None:
-        """Gate the worker: at most the in-flight round completes, then the
-        loop blocks until :meth:`resume` (the thread stays alive)."""
-        self._resume.clear()
-
-    def resume(self) -> None:
-        """Lift a :meth:`pause`."""
-        self._resume.set()
-
-    @property
-    def running(self) -> bool:
-        thread = self._thread
-        return thread is not None and thread.is_alive()
-
-    @property
-    def paused(self) -> bool:
-        return not self._resume.is_set()
-
-    def _worker(self) -> None:
-        """Exception-safe scrub loop: a failing round is recorded on the
-        stats (``worker_errors``/``last_error``) and the loop keeps going —
-        scrubbing is maintenance, it must never take the store down."""
-        while not self._stop.is_set():
-            self._resume.wait()
-            if self._stop.is_set():
-                return
-            try:
-                self.scrub_round()
-            except Exception as exc:  # noqa: BLE001 - isolation by design
-                self.stats.worker_errors += 1
-                self.last_error = exc
-            self._stop.wait(self.interval_s)
+    def _note_worker_error(self, exc: BaseException) -> None:
+        super()._note_worker_error(exc)
+        self.stats.worker_errors += 1
 
     # ------------------------------------------------------------- telemetry
 

@@ -1,0 +1,110 @@
+"""Shared base for background media-maintenance workers.
+
+The scrubber (read-side drift repair) and the compactor (write-side
+capacity reclamation) run the same kind of loop: a single-flight,
+pause/resume-able, exception-safe daemon thread that performs one bounded
+"round" of maintenance per wakeup.  :class:`MaintenanceWorker` factors
+that loop out so both share one tested implementation:
+
+- **single-flight**: :meth:`start` is idempotent — a running worker's
+  thread is returned instead of starting a second one;
+- **pause/resume**: :meth:`pause` gates the loop (at most the in-flight
+  round completes) without killing the thread; :meth:`resume` lifts it.
+  A pause issued before start is honoured — the worker comes up gated;
+- **exception-safe**: a failing round is recorded through
+  :meth:`_note_worker_error` and the loop keeps going.  Maintenance must
+  never take the store down.
+
+Subclasses implement :meth:`run_once` (one rate-limited round) and may
+override :meth:`_note_worker_error` to land the error on their own stats.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class MaintenanceWorker:
+    """Single-flight, pausable, exception-safe background round-runner.
+
+    Args:
+        interval_s: sleep between rounds.
+        name: the worker thread's name (diagnostics).
+    """
+
+    def __init__(self, *, interval_s: float, name: str) -> None:
+        self.interval_s = interval_s
+        self.name = name
+        self.last_error: BaseException | None = None
+        self._admin_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._resume = threading.Event()
+        self._resume.set()
+
+    # ------------------------------------------------------------- the round
+
+    def run_once(self):
+        """One bounded round of maintenance; subclasses implement it."""
+        raise NotImplementedError
+
+    def _note_worker_error(self, exc: BaseException) -> None:
+        """Record a failed round; subclasses extend to count it on their
+        stats object."""
+        self.last_error = exc
+
+    # ------------------------------------------------------- background loop
+
+    def start(self) -> threading.Thread:
+        """Start the single-flight background worker (idempotent: a
+        running worker's thread is returned instead of starting another).
+        """
+        with self._admin_lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self._thread
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._worker, daemon=True, name=self.name
+            )
+            self._thread.start()
+            return self._thread
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Stop the background worker and join it."""
+        with self._admin_lock:
+            thread = self._thread
+            self._stop.set()
+            self._resume.set()  # unblock a paused worker so it can exit
+        if thread is not None:
+            thread.join(timeout)
+
+    def pause(self) -> None:
+        """Gate the worker: at most the in-flight round completes, then the
+        loop blocks until :meth:`resume` (the thread stays alive)."""
+        self._resume.clear()
+
+    def resume(self) -> None:
+        """Lift a :meth:`pause`."""
+        self._resume.set()
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def paused(self) -> bool:
+        return not self._resume.is_set()
+
+    def _worker(self) -> None:
+        """Exception-safe maintenance loop: a failing round is recorded
+        (``_note_worker_error``) and the loop keeps going."""
+        while not self._stop.is_set():
+            self._resume.wait()
+            if self._stop.is_set():
+                return
+            try:
+                self.run_once()
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                self._note_worker_error(exc)
+            self._stop.wait(self.interval_s)

@@ -168,6 +168,26 @@ class PersistentCatalog:
         one persisted bit; the rest of the record becomes dead metadata)."""
         tx.write(self.record_address(slot), b"\x00")
 
+    def tx_move(
+        self, tx, old_slot: int, new_slot: int, key: bytes, value_len: int,
+        epoch: int, crc: int = 0,
+    ) -> None:
+        """Transactionally forward a live record to a new slot — the
+        catalog half of a migration (update-in-place PUTs, relocation off
+        retiring segments, and the compactor's wear-leveling swaps all
+        route through it).
+
+        The full record is written at ``new_slot`` and ``old_slot``'s
+        validity flag is reset in the *same* undo-log transaction, so a
+        crash mid-move rolls both back together.  The moved record carries
+        a fresh ``epoch``: even if a duplicate pair ever survived to a
+        recovery scan, newest-epoch-wins resolution keeps exactly the
+        forwarded copy — which is what makes migration crash-safe without
+        any extra forwarding table on the media.
+        """
+        self.tx_set(tx, new_slot, key, value_len, epoch, crc=crc)
+        self.tx_clear(tx, old_slot)
+
     # --------------------------------------------------------------- reads
 
     def read(self, slot: int) -> CatalogEntry | None:

@@ -26,6 +26,7 @@ _CRASH_SWEEP_NAMES = frozenset(
         "DEFAULT_CRASH_SITES",
         "DEFAULT_TORN_SITES",
         "DRIFT_CRASH_SITES",
+        "GC_CRASH_SITES",
         "WEAROUT_CRASH_SITES",
         "WL_CRASH_SITES",
         "WL_TORN_SITES",
@@ -38,6 +39,7 @@ _CRASH_SWEEP_NAMES = frozenset(
         "run_crash_sweep",
         "run_wear_leveling_crash_sweep",
         "weave_aging",
+        "weave_compaction",
     }
 )
 

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.config import E2NVMConfig, fast_test_config
 from repro.core.kvstore import KVStore, StoreReadOnlyError
+from repro.nvm.compactor import Compactor
 from repro.nvm.controller import MemoryController
 from repro.nvm.device import DriftConfig, NVMDevice, WearOutConfig
 from repro.nvm.scrubber import Scrubber
@@ -64,6 +65,9 @@ DEFAULT_CRASH_SITES = (
     "health.relocate",
     "device.drift_flip",
     "scrub.refresh",
+    "compact.migrate",
+    "compact.reclaim",
+    "wl.swap",
 )
 #: Write-capable sites additionally swept with torn-write variants.
 DEFAULT_TORN_SITES = ("tx.log", "tx.write")
@@ -75,6 +79,13 @@ WEAROUT_CRASH_SITES = ("device.stuck_at", "health.retire", "health.relocate")
 #: drift event itself and the scrubber's refresh write.  Elsewhere they
 #: count zero hits and contribute no points.
 DRIFT_CRASH_SITES = ("device.drift_flip", "scrub.refresh")
+#: Subset of :data:`DEFAULT_CRASH_SITES` fired by capacity reclamation:
+#: every migration write point (``compact.migrate``), the reclaim metadata
+#: transition (``compact.reclaim``), and the compactor's static
+#: wear-leveling swap (``wl.swap``).  They need a wear-out harness built
+#: with ``gc=True`` (attaching a synchronous :class:`Compactor`) to fire;
+#: elsewhere they count zero hits and contribute no points.
+GC_CRASH_SITES = ("compact.migrate", "compact.reclaim", "wl.swap")
 
 
 def make_ycsb_trace(
@@ -137,6 +148,23 @@ def weave_aging(
     return out
 
 
+def weave_compaction(trace, *, compact_every: int = 6) -> list[tuple]:
+    """Interleave synchronous compaction rounds into a KV trace.
+
+    Every ``compact_every`` ops a ``("compact",)`` op runs one budgeted
+    :meth:`Compactor.compact_round` — relocation draining (with its
+    ``compact.migrate``/``compact.reclaim`` crash points) plus static
+    wear leveling (``wl.swap`` points).  Use on a harness built with a
+    :class:`~repro.nvm.device.WearOutConfig` and ``gc=True``.
+    """
+    out: list[tuple] = []
+    for i, op in enumerate(trace, 1):
+        out.append(op)
+        if compact_every and i % compact_every == 0:
+            out.append(("compact",))
+    return out
+
+
 def apply_trace(store: KVStore, trace, oracle: dict[bytes, bytes]) -> int:
     """Apply ``trace``, acknowledging each op into ``oracle`` only after the
     call returns.  Returns the number of acknowledged operations; a crash
@@ -178,6 +206,13 @@ def apply_trace(store: KVStore, trace, oracle: dict[bytes, bytes]) -> int:
             # points); content-neutral by construction.
             if store.scrubber is not None:
                 store.scrubber.scrub_round()
+        elif op[0] == "compact":
+            # One synchronous compaction round (``compact.migrate``,
+            # ``compact.reclaim`` and ``wl.swap`` crash points);
+            # content-neutral — it only moves live values and reclaims
+            # drained segments.
+            if store.compactor is not None:
+                store.compactor.compact_round()
         else:
             raise ValueError(f"unknown trace op {op[0]!r}")
         acked += 1
@@ -277,6 +312,7 @@ class KVCrashHarness:
         wearout: WearOutConfig | None = None,
         drift: DriftConfig | None = None,
         spares: int = 0,
+        gc: bool = False,
     ) -> None:
         self.n_segments = n_segments
         self.segment_size = segment_size
@@ -285,6 +321,7 @@ class KVCrashHarness:
         self.seed = seed
         self.config = config or fast_test_config()
         self.spares = spares
+        self.gc = gc
         self.meta_segments = PersistentCatalog.meta_segments_for(
             n_segments, log_segments, segment_size, key_capacity
         )
@@ -356,6 +393,13 @@ class KVCrashHarness:
             # one round can reach every live segment.
             Scrubber(store, segments_per_round=self.n_segments,
                      faults=faults)
+        if self.gc:
+            # Synchronous compactor (never start()ed): trace ("compact",)
+            # ops drive it directly.  Aggressive thresholds so short
+            # sweep traces still exercise wear-leveling swaps, not just
+            # relocation draining.
+            Compactor(store, relocations_per_round=4, swaps_per_round=1,
+                      min_wear_gap=1, dormancy_writes=4, faults=faults)
         return device, pool, store
 
     def reopen(self, device: NVMDevice) -> KVStore:
@@ -375,6 +419,11 @@ class KVCrashHarness:
             # drifted before (or during) the crash are healed on first
             # read instead of failing the invariant check.
             Scrubber(store, segments_per_round=self.n_segments)
+        if self.gc:
+            # Match :meth:`fresh`: the recovered store keeps reclaiming
+            # (no injector — recovery replays never re-crash).
+            Compactor(store, relocations_per_round=4, swaps_per_round=1,
+                      min_wear_gap=1, dormancy_writes=4)
         return store
 
 
@@ -401,12 +450,19 @@ def run_crash_sweep(
     sites=DEFAULT_CRASH_SITES,
     torn_sites=DEFAULT_TORN_SITES,
     torn_fraction: float = 0.5,
+    check_fsck: bool = False,
     progress=None,
 ) -> CrashSweepReport:
     """Replay ``trace`` crashing at every fired crash point, re-open, and
     check invariants after each crash.  Returns a report whose
     ``failures`` list is empty iff the durability contract held at every
-    single point."""
+    single point.
+
+    With ``check_fsck`` the crashed device is additionally snapshotted
+    and run through the offline checker (:func:`repro.tools.fsck.fsck`)
+    *before* recovery: any fsck *error* at any crash point is a failure
+    (warnings — a pending undo transaction, values awaiting relocation —
+    are the expected face of a crash and stay clean)."""
     trace = list(trace)
     report = CrashSweepReport(ops=len(trace))
 
@@ -453,6 +509,8 @@ def run_crash_sweep(
         if tear is not None:
             report.torn_points += 1
         del store  # process death: only the device survives
+        if check_fsck:
+            _fsck_crashed_device(harness, device, label, report)
         try:
             recovered = harness.reopen(device)
             check_durable_invariants(recovered, oracle)
@@ -464,6 +522,33 @@ def run_crash_sweep(
             progress(label, report)
     report.clean_replays = len(points) - report.crash_points
     return report
+
+
+def _fsck_crashed_device(
+    harness: KVCrashHarness, device, label: str, report: CrashSweepReport
+) -> None:
+    """Snapshot the crashed device and run the offline checker on it;
+    fsck *errors* (not warnings) become sweep failures."""
+    import os
+    import tempfile
+
+    from repro.tools.fsck import fsck
+
+    fd, path = tempfile.mkstemp(suffix=".npz")
+    os.close(fd)
+    try:
+        device.save(path)
+        fsck_report = fsck(
+            path,
+            log_segments=harness.log_segments,
+            key_capacity=harness.key_capacity,
+        )
+        for message in fsck_report.errors:
+            report.failures.append(f"{label}: fsck: {message}")
+    except Exception as exc:  # pragma: no cover - harness failure
+        report.failures.append(f"{label}: fsck crashed: {exc!r}")
+    finally:
+        os.unlink(path)
 
 
 # --------------------------------------------------------------------------

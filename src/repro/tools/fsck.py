@@ -15,8 +15,10 @@ cross-checks every layer of the persistent format:
 - **ECP table** — entry counts within per-segment capacity, bit offsets
   within the segment, replacement bits actually bits.
 - **Health/catalog agreement** — live values on retired segments
-  (awaiting relocation) are warnings; spare segments that the catalog
-  claims hold live data are errors.
+  (awaiting relocation) or retiring segments (awaiting compaction) are
+  warnings; spare segments that the catalog claims hold live data, spare
+  segments that are simultaneously retired/retiring, and reclaimed
+  segments that are also retired or retiring are errors.
 
 Exit status is 0 when no errors were found (warnings alone stay 0) and
 1 otherwise, so the checker drops into scripts and CI as-is.
@@ -125,7 +127,7 @@ def _touched(pending: set[int], addr: int, length: int) -> bool:
 
 
 def _scan_catalog(controller, pool, catalog, pending, report) -> None:
-    seen_keys: dict[bytes, int] = {}
+    seen_keys: dict[bytes, tuple[int, bool]] = {}
     for slot in range(catalog.n_slots):
         entry = catalog.read(slot)
         if entry is None:
@@ -150,16 +152,21 @@ def _scan_catalog(controller, pool, catalog, pending, report) -> None:
         else:
             report.values_ok += 1
         if entry.key in seen_keys:
+            other_slot, other_pending = seen_keys[entry.key]
             message = (
                 f"duplicate live key {entry.key!r} in slots "
-                f"{seen_keys[entry.key]} and {slot}"
+                f"{other_slot} and {slot}"
             )
-            if record_pending:
+            # A migration (``tx_move``) writes the forwarded record and
+            # clears the old one in a single transaction; a crash between
+            # the two leaves a duplicate pair with *one* side covered by
+            # the pending undo log — recovery rolls it back.
+            if record_pending or other_pending:
                 report.warning(message + " — pending undo record")
             else:
                 report.error(message)
         else:
-            seen_keys[entry.key] = slot
+            seen_keys[entry.key] = (slot, record_pending)
 
 
 def _scan_ecp(device, report: FsckReport) -> None:
@@ -200,10 +207,30 @@ def _scan_health(device, pool, catalog, report: FsckReport) -> None:
             f"retired segment {seg} still holds a live catalog value "
             "(readable in place; awaiting relocation)"
         )
+    retiring = getattr(health, "retiring", set())
+    for seg in sorted(retiring & live_segments):
+        report.warning(
+            f"retiring segment {seg} still holds a live catalog value "
+            "(readable in place; awaiting compaction)"
+        )
     spare_segments = {addr // device.segment_size for addr in health.spares}
     for seg in sorted(spare_segments & live_segments):
         report.error(
             f"spare segment {seg} is simultaneously live in the catalog"
+        )
+    for seg in sorted(spare_segments & (health.retired | retiring)):
+        report.error(
+            f"spare segment {seg} is simultaneously retired/retiring — "
+            "activation would hand out dying media"
+        )
+    reclaimed = getattr(health, "reclaimed", set())
+    for seg in sorted(reclaimed & health.retired):
+        report.error(
+            f"segment {seg} is both reclaimed (spare-class) and retired"
+        )
+    for seg in sorted(reclaimed & retiring):
+        report.error(
+            f"segment {seg} is both reclaimed (spare-class) and retiring"
         )
 
 
