@@ -1,13 +1,28 @@
-"""The distilled student placer: a logistic head over raw byte histograms.
+"""The distilled student placer: a logistic head over cheap content features.
 
 The full placement model (VAE encoder + K-means) costs a stacked matmul per
 prediction — hundreds of microseconds that dominate the hot write path.  In
 the spirit of SMART-WRITE's adaptive learned write management and
 Predict-and-Write's lightweight clustering (PAPERS.md), a *student* model is
 distilled from the VAE+K-means *teacher* at every (re)train: a multinomial
-logistic regression over the value's normalised byte histogram (256 counts
-plus a length feature).  Featurisation is two C-speed passes over the raw
-bytes and the head is a single ``(257, K)`` matmul — orders of magnitude
+logistic regression over three cheap feature blocks —
+
+- the value's normalised byte histogram (256 counts) plus a length
+  feature: *what* bytes the value holds;
+- a strided sample of byte positions across the zero-padded segment
+  content: *where* they sit.  The teacher encodes the full padded segment
+  bit vector, so position matters to it, and a histogram alone cannot
+  express position — which is exactly how the first-generation
+  histogram-only student ended up dormant (train agreement ~0.54, never
+  clearing the confidence gate);
+- per-chunk bit densities over the padded content: a coarse linear
+  summary of the same bit vector the encoder's first layer consumes.
+
+The positional blocks are computed over the value *as written to media*
+(zero-padded to the segment size) so distillation rows — full-width
+segment contents — and serve-time rows for shorter values come from the
+same distribution.  Featurisation stays a few C-speed passes over the raw
+bytes and the head is a single ``(329, K)`` matmul — orders of magnitude
 cheaper than the encoder forward pass.
 
 The student is intentionally *deferential*: it serves a prediction only when
@@ -25,28 +40,58 @@ import numpy as np
 from repro.ml.optim import Adam
 from repro.util.rng import rng_from_seed
 
-#: Byte-histogram feature width (one bin per byte value) plus the
-#: length-fraction feature.
+#: Byte-histogram feature width (one bin per byte value).
 N_BYTE_BINS = 256
-N_FEATURES = N_BYTE_BINS + 1
+#: Strided byte positions sampled from the zero-padded segment content.
+N_SAMPLE_POSITIONS = 64
+#: Per-chunk bit-density features over the padded content.
+N_CHUNK_DENSITIES = 8
+N_FEATURES = N_BYTE_BINS + 1 + N_SAMPLE_POSITIONS + N_CHUNK_DENSITIES
+
+_LEN_FEATURE = N_BYTE_BINS
+_SAMPLE_OFFSET = N_BYTE_BINS + 1
+_CHUNK_OFFSET = _SAMPLE_OFFSET + N_SAMPLE_POSITIONS
+
+#: Bits set per byte value (positional densities in one table lookup).
+_POPCOUNT = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1)
 
 
 def featurize_values(values, segment_size: int) -> np.ndarray:
-    """Feature rows for raw byte values: normalised byte histogram plus the
-    value's length as a fraction of the segment size.
+    """Feature rows for raw byte values.
 
-    Padding never enters the features — the student learns content → cluster
-    directly, with the length feature standing in for how much padding the
-    teacher would have seen.
+    The histogram block is normalised over the value's *own* bytes (padding
+    never dilutes it; the length feature stands in for how much padding the
+    teacher would have seen).  The positional blocks — strided byte sample
+    and chunk bit densities — are computed over the value zero-padded to
+    ``segment_size``, i.e. over the content the teacher actually encodes,
+    so feature rows for a short value match rows built from its full-width
+    media image.
     """
     if segment_size <= 0:
         raise ValueError("segment_size must be positive")
     out = np.zeros((len(values), N_FEATURES), dtype=np.float64)
     for i, value in enumerate(values):
         arr = np.frombuffer(bytes(value), dtype=np.uint8)
-        if arr.size:
-            out[i, :N_BYTE_BINS] = np.bincount(arr, minlength=N_BYTE_BINS) / arr.size
-        out[i, N_BYTE_BINS] = arr.size / segment_size
+        if not arr.size:
+            continue
+        out[i, :N_BYTE_BINS] = np.bincount(arr, minlength=N_BYTE_BINS) / arr.size
+        out[i, _LEN_FEATURE] = arr.size / segment_size
+        if arr.size < segment_size:
+            padded = np.zeros(segment_size, dtype=np.uint8)
+            padded[: arr.size] = arr
+        else:
+            padded = arr[:segment_size]
+        idx = np.linspace(
+            0, padded.size - 1, N_SAMPLE_POSITIONS
+        ).astype(np.intp)
+        out[i, _SAMPLE_OFFSET:_CHUNK_OFFSET] = padded[idx] / 255.0
+        counts = _POPCOUNT[padded]
+        out[i, _CHUNK_OFFSET:] = [
+            chunk.mean() / 8.0 if chunk.size else 0.0
+            for chunk in np.array_split(counts, N_CHUNK_DENSITIES)
+        ]
     return out
 
 
@@ -82,6 +127,12 @@ class StudentPlacer:
         rng = rng_from_seed(seed)
         self.W = rng.normal(0.0, 0.01, size=(N_FEATURES, n_clusters))
         self.b = np.zeros(n_clusters)
+        #: Per-feature standardisation fitted on the distillation set.  The
+        #: feature blocks live on very different scales (histogram bins
+        #: ~1/256, byte samples ~0.5); a single learning rate underfits the
+        #: raw mix badly, so the head always sees standardised rows.
+        self.feat_mean = np.zeros(N_FEATURES)
+        self.feat_scale = np.ones(N_FEATURES)
         self.trained = False
         #: Fraction of the distillation set where the student's argmax
         #: matches the teacher's label (fidelity, not accuracy — the teacher
@@ -109,18 +160,23 @@ class StudentPlacer:
             raise ValueError(
                 f"features have {F.shape[1]} columns, expected {N_FEATURES}"
             )
+        self.feat_mean[:] = F.mean(axis=0)
+        scale = F.std(axis=0)
+        scale[scale < 1e-9] = 1.0  # constant features carry no signal
+        self.feat_scale[:] = scale
+        Z = (F - self.feat_mean) / self.feat_scale
         onehot = np.zeros((len(y), self.n_clusters))
         onehot[np.arange(len(y)), y] = 1.0
         optimizer = Adam(lr=lr)
-        n = len(F)
+        n = len(Z)
         for _ in range(max(1, epochs)):
-            probs = self._softmax(F @ self.W + self.b)
+            probs = self._softmax(Z @ self.W + self.b)
             delta = (probs - onehot) / n
-            grad_w = F.T @ delta
+            grad_w = Z.T @ delta
             grad_b = delta.sum(axis=0)
             optimizer.step([self.W, self.b], [grad_w, grad_b])
         self.trained = True
-        preds = np.argmax(F @ self.W + self.b, axis=1)
+        preds = np.argmax(Z @ self.W + self.b, axis=1)
         self.train_agreement = float(np.mean(preds == y))
         return self
 
@@ -129,7 +185,8 @@ class StudentPlacer:
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """Per-cluster softmax probabilities for feature rows."""
         F = np.atleast_2d(np.asarray(features, dtype=np.float64))
-        return self._softmax(F @ self.W + self.b)
+        Z = (F - self.feat_mean) / self.feat_scale
+        return self._softmax(Z @ self.W + self.b)
 
     def predict(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(cluster_ids, confidences)`` for feature rows — confidence is
@@ -150,7 +207,7 @@ class StudentPlacer:
     @property
     def params(self) -> list[np.ndarray]:
         """Parameter arrays in serialisation order."""
-        return [self.W, self.b]
+        return [self.W, self.b, self.feat_mean, self.feat_scale]
 
     @staticmethod
     def _softmax(logits: np.ndarray) -> np.ndarray:

@@ -138,8 +138,18 @@ class NVMDevice:
         latency_model: cost model for latency accounting.
         track_bit_wear: maintain a per-bit programming counter (8 counters per
             byte of capacity) for wear CDF analysis.
-        initial_fill: ``"zero"`` or ``"random"`` initial media content.
+        initial_fill: ``"zero"`` or ``"random"`` initial media content;
+            ``"keep"`` (valid only with ``content_buffer``) adopts the
+            buffer's existing bytes untouched — the crash-recovery path of
+            a sharded worker re-attaching to its shared-memory media.
         seed: RNG seed for ``initial_fill="random"``.
+        content_buffer: optional writable buffer (e.g. a
+            ``multiprocessing.shared_memory.SharedMemory`` block) backing
+            the media content array in place of a private allocation.  At
+            least ``capacity_bytes`` long; the device uses exactly the
+            leading ``capacity_bytes``.  Content then outlives this
+            process: a sharded store's parent can re-open a shard from the
+            buffer after its worker process died mid-write.
         faults: optional :class:`repro.testing.faults.FaultInjector`; when
             set, :meth:`program` fires the write-capable ``"device.program"``
             site before any accounting, so tests can crash a run at any
@@ -168,6 +178,7 @@ class NVMDevice:
         faults=None,
         wearout: WearOutConfig | None = None,
         drift: DriftConfig | None = None,
+        content_buffer=None,
     ) -> None:
         if segment_size <= 0:
             raise ValueError("segment_size must be positive")
@@ -182,12 +193,33 @@ class NVMDevice:
         self.faults = faults
         self.stats = DeviceStats()
 
-        if initial_fill == "zero":
+        if content_buffer is not None:
+            backing = np.frombuffer(content_buffer, dtype=np.uint8)
+            if backing.size < capacity_bytes:
+                raise ValueError(
+                    f"content_buffer of {backing.size} B cannot back "
+                    f"{capacity_bytes} B of media"
+                )
+            self._content = backing[:capacity_bytes]
+            if initial_fill == "zero":
+                self._content[:] = 0
+            elif initial_fill == "random":
+                rng = rng_from_seed(seed)
+                self._content[:] = rng.integers(
+                    0, 256, size=capacity_bytes, dtype=np.uint8
+                )
+            elif initial_fill != "keep":
+                raise ValueError(f"unknown initial_fill {initial_fill!r}")
+        elif initial_fill == "zero":
             self._content = np.zeros(capacity_bytes, dtype=np.uint8)
         elif initial_fill == "random":
             rng = rng_from_seed(seed)
             self._content = rng.integers(
                 0, 256, size=capacity_bytes, dtype=np.uint8
+            )
+        elif initial_fill == "keep":
+            raise ValueError(
+                'initial_fill="keep" needs a content_buffer to keep'
             )
         else:
             raise ValueError(f"unknown initial_fill {initial_fill!r}")
@@ -855,8 +887,14 @@ class NVMDevice:
         path,
         energy_model: EnergyModel | None = None,
         latency_model: LatencyModel | None = None,
+        content_buffer=None,
     ) -> "NVMDevice":
-        """Restore a device from a :meth:`save` snapshot."""
+        """Restore a device from a :meth:`save` snapshot.
+
+        ``content_buffer`` backs the restored content array with an
+        external buffer (see :class:`NVMDevice`); the snapshot's bytes are
+        copied into it.
+        """
         with np.load(path) as archive:
             capacity, segment_size = (int(x) for x in archive["geometry"])
             wearout = None
@@ -891,6 +929,7 @@ class NVMDevice:
                 track_bit_wear="bit_wear" in archive,
                 wearout=wearout,
                 drift=drift,
+                content_buffer=content_buffer,
             )
             device._content[:] = archive["content"]
             device.segment_write_count[:] = archive["segment_write_count"]

@@ -1,0 +1,43 @@
+"""Sharded multi-channel engine: N independent vertical slices behind one
+facade.
+
+Real NVM/SSD controllers get their bandwidth from channel x way x plane
+parallelism — many independent media units served by per-unit handlers (the
+Samsung Arno ``AddressMappingLayer`` builds one ``ParallelUnit`` submodule
+per handler; see SNIPPETS.md snippet 2 and the DESIGN.md note).  This
+package models the same structure at the storage layer:
+
+- :class:`~repro.sharding.ring.HashRing` — a seeded consistent-hash ring
+  mapping keys to shards;
+- :class:`~repro.sharding.shard.Shard` — one full vertical slice:
+  ``NVMDevice`` + controller + engine (DAP, fastpath, retraining) +
+  ``KVStore`` (catalog, recovery) + optional scrubber/compactor workers;
+- :mod:`~repro.sharding.backends` — two execution backends: an in-process
+  one (correctness baseline, works everywhere) and a ``multiprocessing``
+  one where every shard runs in its own worker process with the device
+  array in ``SharedMemory``, so batched puts fan out across real cores and
+  aggregate ops/s multiplies instead of serialising on the GIL;
+- :class:`~repro.sharding.store.ShardedKVStore` — the facade: batch ops
+  routed by shard (one engine call per shard), cross-shard telemetry
+  rollup, per-shard epoch events, and manifest-based create/open/close
+  with shard-by-shard crash recovery.
+"""
+
+from repro.sharding.backends import (
+    InProcessBackend,
+    ProcessBackend,
+    ShardCrashedError,
+)
+from repro.sharding.ring import HashRing
+from repro.sharding.shard import Shard, ShardSpec
+from repro.sharding.store import ShardedKVStore
+
+__all__ = [
+    "HashRing",
+    "InProcessBackend",
+    "ProcessBackend",
+    "Shard",
+    "ShardCrashedError",
+    "ShardSpec",
+    "ShardedKVStore",
+]

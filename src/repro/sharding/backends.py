@@ -1,0 +1,340 @@
+"""Execution backends: where a shard's vertical slice actually runs.
+
+Two interchangeable backends serve the facade:
+
+- :class:`InProcessBackend` — N :class:`~repro.sharding.shard.Shard`
+  objects in this process, one lock per shard.  The correctness baseline
+  (and the fallback where ``fork`` + shared memory are unavailable): every
+  behaviour of the sharded store is defined by this backend, and the
+  process backend must match it.
+- :class:`ProcessBackend` — one worker *process* per shard, talking over a
+  request/response pipe, with the shard's device content array backed by a
+  ``multiprocessing.shared_memory.SharedMemory`` block the parent owns.
+  Shards place, encode and write concurrently on real cores — the forward
+  pass, DAP claim and media write of shard 2 never serialise behind shard
+  0's GIL — so aggregate ops/s multiplies with the core count.
+
+The shared-memory media is the crash story: a worker process dying
+mid-operation (simulated power loss on one channel) takes its DRAM state
+with it but not the media bytes.  :meth:`ProcessBackend.reopen_shard`
+spawns a fresh worker that re-attaches to the same block and runs ordinary
+undo-log recovery — only that shard's in-flight transaction rolls back;
+every other shard never notices.
+
+Both backends speak the same protocol: ``call(shard_id, op, args)`` for one
+shard, ``call_many(requests)`` to fan a batch out (the process backend
+sends every request before collecting any response, which is where the
+parallelism comes from).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing import shared_memory
+from threading import RLock
+
+from repro.sharding.shard import Shard, ShardSpec
+from repro.testing.faults import CrashError
+
+#: Exit status a worker uses for a simulated crash (power loss on the
+#: channel): no pipe response, no cleanup, media left as-is in shared
+#: memory.
+_CRASH_EXIT_STATUS = 17
+
+
+class ShardCrashedError(RuntimeError):
+    """A shard's worker process died mid-operation.
+
+    The facade's data on every *other* shard is unaffected; call
+    ``ShardedKVStore.reopen_shard(shard_id)`` to recover the crashed one
+    from its surviving shared-memory media (undo-log rollback included).
+    """
+
+    def __init__(self, shard_ids: list[int]) -> None:
+        self.shard_ids = sorted(shard_ids)
+        super().__init__(
+            f"shard worker(s) {self.shard_ids} died mid-operation; "
+            "reopen_shard() recovers them from the surviving media"
+        )
+
+
+class InProcessBackend:
+    """All shards in this process; one lock per shard (per-shard lock
+    domains — never a global one)."""
+
+    def __init__(self, specs: list[ShardSpec], mode: str) -> None:
+        self.specs = list(specs)
+        self._shards = [Shard.build(spec, mode) for spec in specs]
+        self._locks = [RLock() for _ in specs]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard(self, shard_id: int) -> Shard:
+        """Direct access for tests (twin-object comparisons)."""
+        return self._shards[shard_id]
+
+    def call(self, shard_id: int, op: str, args: tuple = (), kwargs=None):
+        with self._locks[shard_id]:
+            return self._shards[shard_id].execute(op, args, kwargs)
+
+    def call_many(self, requests: list[tuple[int, str, tuple, dict | None]]):
+        """Execute ``(shard_id, op, args, kwargs)`` requests; results in
+        request order.  Sequential here — the in-process backend is the
+        semantics baseline, not the fast path."""
+        return [
+            self.call(shard_id, op, args, kwargs)
+            for shard_id, op, args, kwargs in requests
+        ]
+
+    def shard_alive(self, shard_id: int) -> bool:
+        return 0 <= shard_id < len(self._shards)
+
+    def reopen_shard(self, shard_id: int) -> None:
+        raise RuntimeError(
+            "in-process shards cannot crash independently; reopen_shard is "
+            "a process-backend operation"
+        )
+
+    def close(self) -> None:
+        self._shards = []
+
+
+def _send_error(conn, exc: BaseException) -> None:
+    """Ship an exception to the parent, degrading to a picklable stand-in
+    when the original will not survive the pipe."""
+    try:
+        conn.send(("err", exc))
+    except Exception:
+        conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
+
+
+def _shard_worker(conn, shm_name: str, spec: ShardSpec, mode: str) -> None:
+    """Worker main: build the shard over the shared media, then serve the
+    request/response loop until shutdown (or simulated crash)."""
+    shm = shared_memory.SharedMemory(name=shm_name)
+    shard = None
+    try:
+        try:
+            shard = Shard.build(spec, mode, content_buffer=shm.buf)
+        except BaseException as exc:
+            _send_error(conn, exc)
+            return
+        conn.send(("ready", spec.shard_id))
+        while True:
+            try:
+                op, args, kwargs = conn.recv()
+            except EOFError:
+                return  # parent went away; nothing to serve
+            if op == "__shutdown__":
+                conn.send(("ok", None))
+                return
+            try:
+                result = shard.execute(op, args, kwargs)
+            except CrashError:
+                # Simulated power loss on this channel: die without a
+                # response or any cleanup.  The media bytes live in the
+                # parent's shared-memory block and survive verbatim.
+                os._exit(_CRASH_EXIT_STATUS)
+            except BaseException as exc:
+                _send_error(conn, exc)
+            else:
+                conn.send(("ok", result))
+    finally:
+        # Release our view of the media.  NumPy may still hold exported
+        # buffer pointers through the device array; process exit reclaims
+        # them either way.
+        shard = None
+        try:
+            shm.close()
+        except BufferError:
+            pass
+
+
+class _WorkerHandle:
+    """Parent-side state of one shard worker."""
+
+    def __init__(self, spec: ShardSpec, shm) -> None:
+        self.spec = spec
+        self.shm = shm
+        self.process = None
+        self.conn = None
+        self.crashed = False
+
+
+class ProcessBackend:
+    """One worker process per shard over shared-memory media.
+
+    Args:
+        specs: one :class:`ShardSpec` per shard.
+        mode: forwarded to :meth:`Shard.build` in each worker
+            (``"create"`` or ``"open"``).  Workers build — including model
+            training and recovery — **in parallel**: a sharded store
+            recovers shard-by-shard on real cores.
+        start_method: multiprocessing start method; default prefers
+            ``fork`` (cheap, inherits the imported stack) and falls back
+            to the platform default elsewhere.
+    """
+
+    def __init__(
+        self,
+        specs: list[ShardSpec],
+        mode: str,
+        start_method: str | None = None,
+    ) -> None:
+        self.specs = list(specs)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self._handles: list[_WorkerHandle] = []
+        try:
+            for spec in specs:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=spec.capacity_bytes
+                )
+                self._handles.append(_WorkerHandle(spec, shm))
+            for handle in self._handles:
+                self._spawn(handle, mode)
+            # All workers boot concurrently; collect readiness afterwards.
+            for handle in self._handles:
+                self._await_ready(handle)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._handles)
+
+    def _spawn(self, handle: _WorkerHandle, mode: str) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, handle.shm.name, handle.spec, mode),
+            daemon=True,
+            name=f"shard-{handle.spec.shard_id}",
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.crashed = False
+
+    def _await_ready(self, handle: _WorkerHandle) -> None:
+        status, payload = self._recv(handle)
+        if status != "ready":
+            raise payload
+
+    def _recv(self, handle: _WorkerHandle):
+        try:
+            return handle.conn.recv()
+        except (EOFError, OSError):
+            handle.crashed = True
+            handle.conn.close()
+            handle.process.join()
+            raise ShardCrashedError([handle.spec.shard_id]) from None
+
+    def _send(self, handle: _WorkerHandle, message) -> None:
+        if handle.crashed:
+            raise ShardCrashedError([handle.spec.shard_id])
+        try:
+            handle.conn.send(message)
+        except (BrokenPipeError, OSError):
+            handle.crashed = True
+            handle.process.join()
+            raise ShardCrashedError([handle.spec.shard_id]) from None
+
+    def call(self, shard_id: int, op: str, args: tuple = (), kwargs=None):
+        handle = self._handles[shard_id]
+        self._send(handle, (op, args, kwargs))
+        status, payload = self._recv(handle)
+        if status == "err":
+            raise payload
+        return payload
+
+    def call_many(self, requests: list[tuple[int, str, tuple, dict | None]]):
+        """Fan out: send every request before collecting any response, so
+        the workers run concurrently.  At most one in-flight request per
+        shard (the facade groups batches by shard before calling).
+
+        If any worker dies mid-batch, the surviving shards' responses are
+        still drained (their sub-batches commit normally) and a single
+        :class:`ShardCrashedError` naming every dead shard is raised."""
+        sent: list[tuple[int, _WorkerHandle] | None] = []
+        crashed: set[int] = set()
+        for shard_id, op, args, kwargs in requests:
+            handle = self._handles[shard_id]
+            try:
+                self._send(handle, (op, args, kwargs))
+            except ShardCrashedError:
+                crashed.add(shard_id)
+                sent.append(None)
+            else:
+                sent.append((shard_id, handle))
+        results = []
+        first_error: BaseException | None = None
+        for entry in sent:
+            if entry is None:
+                results.append(None)
+                continue
+            shard_id, handle = entry
+            try:
+                status, payload = self._recv(handle)
+            except ShardCrashedError:
+                crashed.add(shard_id)
+                results.append(None)
+                continue
+            if status == "err":
+                first_error = first_error or payload
+                results.append(None)
+            else:
+                results.append(payload)
+        if crashed:
+            raise ShardCrashedError(sorted(crashed))
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def shard_alive(self, shard_id: int) -> bool:
+        handle = self._handles[shard_id]
+        return not handle.crashed and handle.process.is_alive()
+
+    def worker_pid(self, shard_id: int) -> int | None:
+        return self._handles[shard_id].process.pid
+
+    def reopen_shard(self, shard_id: int) -> None:
+        """Recover a crashed shard: spawn a fresh worker re-attached to
+        the surviving shared-memory media and run normal recovery (undo
+        rollback + catalog scan + DAP rebuild) there."""
+        handle = self._handles[shard_id]
+        if not handle.crashed and handle.process.is_alive():
+            raise RuntimeError(
+                f"shard {shard_id} is alive; reopen is for crashed shards"
+            )
+        handle.conn.close()
+        handle.process.join()
+        self._spawn(handle, "attach")
+        self._await_ready(handle)
+
+    def close(self) -> None:
+        for handle in self._handles:
+            if handle.conn is None:
+                continue
+            if not handle.crashed and handle.process.is_alive():
+                try:
+                    handle.conn.send(("__shutdown__", (), None))
+                    handle.conn.recv()
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
+            handle.conn.close()
+            handle.process.join()
+        for handle in self._handles:
+            try:
+                handle.shm.close()
+                handle.shm.unlink()
+            except (BufferError, FileNotFoundError):
+                pass
+        self._handles = []

@@ -1,0 +1,90 @@
+"""Seeded consistent-hash ring mapping keys to shards.
+
+The ring must behave identically in every process that consults it — the
+facade routes in the parent while each shard validates in its worker — so
+hashing is built on :func:`hashlib.blake2b` keyed by the ring seed, never on
+Python's per-process salted ``hash()``.
+
+Consistent hashing (rather than ``crc32(key) % N``) keeps the door open for
+shard-count changes: adding a shard moves only the keys whose ring arc it
+claims, roughly ``1/N`` of the space, instead of reshuffling almost
+everything.  Each shard owns ``vnodes`` points on the ring so arc lengths —
+and with them the per-shard key share — stay near-uniform.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import struct
+
+_POINT = struct.Struct("<Q")
+
+
+def _hash64(data: bytes, seed: int) -> int:
+    """Stable 64-bit hash of ``data`` under ``seed`` (process-independent)."""
+    digest = hashlib.blake2b(
+        data, digest_size=8, key=seed.to_bytes(8, "little", signed=False)
+    ).digest()
+    return _POINT.unpack(digest)[0]
+
+
+class HashRing:
+    """Consistent-hash ring over byte keys.
+
+    Args:
+        n_shards: number of shards; keys map to ``0 .. n_shards - 1``.
+        seed: ring seed.  Two rings built with the same ``(n_shards, seed,
+            vnodes)`` make identical routing decisions in any process.
+        vnodes: virtual nodes per shard; more points mean more uniform
+            per-shard key shares at slightly larger ring state.
+    """
+
+    def __init__(self, n_shards: int, seed: int = 0, vnodes: int = 128) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        if not 0 <= seed < 2**64:
+            raise ValueError("seed must fit in 64 unsigned bits")
+        self.n_shards = n_shards
+        self.seed = seed
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(vnodes):
+                label = b"shard:%d:%d" % (shard, replica)
+                points.append((_hash64(label, seed), shard))
+        points.sort()
+        # Ties (two vnodes hashing identically) would make the owner depend
+        # on sort stability of the insertion order; the sort on the (hash,
+        # shard) pair resolves them deterministically to the lowest shard.
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_of(self, key: bytes) -> int:
+        """Owning shard of ``key``: the first ring point at or after the
+        key's hash, wrapping past the top of the ring."""
+        if not isinstance(key, bytes):
+            raise TypeError("keys must be bytes")
+        h = _hash64(key, self.seed)
+        i = bisect.bisect_left(self._hashes, h)
+        if i == len(self._hashes):
+            i = 0
+        return self._owners[i]
+
+    def partition(self, keys) -> dict[int, list[int]]:
+        """Group key *indices* by owning shard, preserving input order
+        within each group — the facade's batch-routing primitive."""
+        groups: dict[int, list[int]] = {}
+        for i, key in enumerate(keys):
+            groups.setdefault(self.shard_of(key), []).append(i)
+        return groups
+
+    def describe(self) -> dict:
+        """Ring parameters for the manifest (rebuild with ``HashRing(**d)``)."""
+        return {
+            "n_shards": self.n_shards,
+            "seed": self.seed,
+            "vnodes": self.vnodes,
+        }

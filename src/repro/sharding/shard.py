@@ -1,0 +1,328 @@
+"""One shard: a full vertical slice of the storage stack.
+
+A shard owns its *entire* channel — ``NVMDevice`` + ``MemoryController`` +
+``E2NVM`` engine (DAP, fast placement, retrain worker) + ``KVStore`` (and,
+in durable mode, ``PersistentPool`` + ``PersistentCatalog``), plus optional
+scrubber/compactor workers.  Nothing is shared between shards: each carries
+its own clusters, model epoch, wear state and lock domain, so shards
+compose with the E2-NVM placement scheme instead of fighting it
+(Predict-and-Write's per-group clustering, PAPERS.md).
+
+The same :class:`Shard` object serves both execution backends.  The
+in-process backend holds N of them directly; the process backend builds one
+*inside each worker* from a picklable :class:`ShardSpec`, with the device
+content array living in a ``SharedMemory`` block owned by the parent — the
+media survives a worker crash exactly like real NVM survives power loss,
+and :meth:`Shard.build` re-attaches to it in ``"attach"`` mode to run
+normal recovery.
+
+Every operation the facade fans out arrives through :meth:`Shard.execute`,
+a single string-keyed dispatch — the request/response pipe protocol of the
+process backend and the direct calls of the in-process backend stay
+identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import E2NVMConfig
+from repro.core.kvstore import KVStore
+from repro.nvm.compactor import Compactor
+from repro.nvm.controller import MemoryController
+from repro.nvm.device import NVMDevice
+from repro.nvm.scrubber import Scrubber
+from repro.pmem.catalog import PersistentCatalog
+from repro.pmem.pool import PersistentPool
+from repro.testing.faults import CrashError, FaultInjector
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to (re)build one shard in any process.
+
+    Specs are pickled into worker processes and serialised (minus the
+    config object) into the store manifest, so every field is plain data.
+
+    Attributes:
+        shard_id: position of this shard in the facade's shard list.
+        segment_size: bytes per segment of the shard's device.
+        n_segments: segments on the shard's device.
+        durable: build a transactional ``KVStore.create``/``open`` store
+            over a :class:`PersistentPool` (with undo log and catalog);
+            ``False`` builds the volatile store used by benchmarks.
+        log_segments: undo-log segments of a durable shard's pool.
+        key_capacity: catalog key capacity of a durable shard.
+        seed: device initial-content seed (shards get distinct seeds so
+            their initial free-content clusterings differ, as independent
+            channels would).
+        config: engine hyperparameters (each shard trains its own model).
+        path: device snapshot file (``.npz``) of a durable shard;
+            ``None`` for volatile shards, which cannot be reopened.
+        scrubber: attach a (manually driven) scrubber to the store.
+        compactor: attach a (manually driven) compactor to the store.
+    """
+
+    shard_id: int
+    segment_size: int
+    n_segments: int
+    durable: bool = True
+    log_segments: int = 2
+    key_capacity: int = 32
+    seed: int = 0
+    config: E2NVMConfig = field(default_factory=E2NVMConfig)
+    path: str | None = None
+    scrubber: bool = False
+    compactor: bool = False
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.n_segments * self.segment_size
+
+    def manifest_entry(self) -> dict:
+        """The JSON-serialisable slice of this spec (the config travels in
+        code, not in the manifest — it is a constructor argument on open,
+        exactly like ``KVStore.open``'s)."""
+        return {
+            "shard_id": self.shard_id,
+            "segment_size": self.segment_size,
+            "n_segments": self.n_segments,
+            "durable": self.durable,
+            "log_segments": self.log_segments,
+            "key_capacity": self.key_capacity,
+            "seed": self.seed,
+            "path": self.path,
+            "scrubber": self.scrubber,
+            "compactor": self.compactor,
+        }
+
+
+class Shard:
+    """One built vertical slice, dispatching facade operations."""
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        store: KVStore,
+        device: NVMDevice,
+        pool: PersistentPool | None = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.device = device
+        self.pool = pool
+        self.engine = store.engine
+        self.faults: FaultInjector | None = None
+
+    # -------------------------------------------------------------- building
+
+    @classmethod
+    def build(
+        cls, spec: ShardSpec, mode: str, content_buffer=None
+    ) -> "Shard":
+        """Build the slice described by ``spec``.
+
+        Args:
+            spec: the shard description.
+            mode: ``"create"`` formats fresh media and trains the engine;
+                ``"open"`` loads the device snapshot at ``spec.path`` and
+                runs full recovery; ``"attach"`` re-adopts already-live
+                media in ``content_buffer`` (the post-crash path of the
+                process backend: the worker died, the shared-memory media
+                did not) and runs the same recovery.
+            content_buffer: optional external buffer backing the device
+                content array (see :class:`NVMDevice`).
+        """
+        if mode not in ("create", "open", "attach"):
+            raise ValueError(f"unknown shard build mode {mode!r}")
+        if mode == "attach" and content_buffer is None:
+            raise ValueError("attach mode needs the live content buffer")
+        if mode != "create" and not spec.durable:
+            raise ValueError(
+                "volatile shards cannot be reopened (no catalog to "
+                "recover from); only durable shards survive restarts"
+            )
+        if mode == "open":
+            if spec.path is None:
+                raise ValueError("open mode needs spec.path")
+            device = NVMDevice.load(spec.path, content_buffer=content_buffer)
+            if (
+                device.capacity_bytes != spec.capacity_bytes
+                or device.segment_size != spec.segment_size
+            ):
+                raise ValueError(
+                    f"snapshot at {spec.path} has geometry "
+                    f"{device.capacity_bytes}/{device.segment_size}, spec "
+                    f"says {spec.capacity_bytes}/{spec.segment_size}"
+                )
+        else:
+            device = NVMDevice(
+                capacity_bytes=spec.capacity_bytes,
+                segment_size=spec.segment_size,
+                initial_fill="keep" if mode == "attach" else "random",
+                seed=spec.seed,
+                content_buffer=content_buffer,
+            )
+        if not spec.durable:
+            from repro.core.e2nvm import E2NVM
+
+            engine = E2NVM(MemoryController(device), spec.config)
+            engine.train()
+            store = KVStore(engine)
+            return cls(spec, store, device, pool=None)
+
+        pool = PersistentPool(
+            MemoryController(device),
+            log_segments=spec.log_segments,
+            meta_segments=PersistentCatalog.meta_segments_for(
+                spec.n_segments,
+                spec.log_segments,
+                spec.segment_size,
+                spec.key_capacity,
+            ),
+        )
+        if mode == "create":
+            store = KVStore.create(
+                pool, config=spec.config, key_capacity=spec.key_capacity
+            )
+        else:
+            store = KVStore.open(
+                pool, config=spec.config, key_capacity=spec.key_capacity
+            )
+        shard = cls(spec, store, device, pool=pool)
+        if spec.scrubber:
+            Scrubber(store, segments_per_round=spec.n_segments)
+        if spec.compactor:
+            Compactor(store)
+        return shard
+
+    # ------------------------------------------------------------ dispatch
+
+    def execute(self, op: str, args: tuple = (), kwargs: dict | None = None):
+        """Run one facade operation; the single entry point both backends
+        use, so in-process and worker-process shards behave identically."""
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ValueError(f"unknown shard op {op!r}")
+        return handler(*args, **(kwargs or {}))
+
+    # Operations.  Results must be picklable (they cross the process
+    # backend's response pipe).
+
+    def _op_put(self, key: bytes, value: bytes) -> int:
+        return self.store.put(key, value)
+
+    def _op_put_many(self, items: list[tuple[bytes, bytes]]) -> list[int]:
+        return self.store.put_many(items)
+
+    def _op_get(self, key: bytes) -> bytes | None:
+        return self.store.get(key)
+
+    def _op_get_many(self, keys: list[bytes]) -> list[bytes | None]:
+        return [self.store.get(key) for key in keys]
+
+    def _op_delete(self, key: bytes) -> bool:
+        return self.store.delete(key)
+
+    def _op_len(self) -> int:
+        return len(self.store)
+
+    def _op_keys(self) -> list[bytes]:
+        return list(self.store.keys())
+
+    def _op_retrain(self) -> bool:
+        """Epoch-bumping broadcast target: start this shard's background
+        retrain (single-flight; never blocks the write path)."""
+        try:
+            self.engine.train_async()
+        except RuntimeError:
+            return False
+        return True
+
+    def _op_wait_retrain(self, timeout: float | None = None) -> bool:
+        return self.engine.wait_for_retrain(timeout)
+
+    def _op_drain_relocations(self, budget: int | None = None) -> int:
+        return self.store.drain_relocations(budget)
+
+    def _op_save(self, path: str | None = None) -> str:
+        """Persist the device snapshot (close path of durable shards)."""
+        target = path or self.spec.path
+        if target is None:
+            raise ValueError("volatile shard has no snapshot path")
+        self.device.save(target)
+        return target
+
+    def _op_recovery_report(self):
+        return self.store.recovery
+
+    def _op_model_epoch(self) -> int:
+        return self.engine._model_epoch
+
+    def _op_arm_crash(
+        self, site: str, after: int = 0, torn_fraction: float | None = None
+    ) -> None:
+        """Arm a :class:`CrashError` at ``site`` — the crash-sweep hook of
+        the sharded harness.  In a worker process the resulting crash kills
+        the *process* (``os._exit``), modelling one channel's controller
+        dying mid-operation while the media (shared memory) survives."""
+        if self.faults is None:
+            self.faults = FaultInjector()
+            self.engine.faults = self.faults
+            self.store.engine.faults = self.faults
+            self.device.faults = self.faults
+            if self.pool is not None:
+                self.pool.faults = self.faults
+        self.faults.arm(
+            site, error=CrashError, after=after, torn_fraction=torn_fraction
+        )
+
+    def _op_telemetry(self) -> dict:
+        """Everything the facade aggregates, in one picklable dict.
+
+        Counter semantics matter for the rollup: plain counts (cache hits,
+        writes, energy) aggregate by *sum*; latencies ship as ``(total
+        seconds, count)`` pairs so the facade can weight by count instead
+        of averaging per-shard means (see
+        ``ShardedKVStore.telemetry``)."""
+        engine = self.engine
+        pipeline = engine.pipeline
+        stats = self.device.stats
+        out = {
+            "shard_id": self.spec.shard_id,
+            "n_keys": len(self.store),
+            "read_only": self.store.read_only,
+            "placement": engine.placement_telemetry(),
+            "prediction_count": pipeline.prediction_count,
+            "prediction_seconds": pipeline.prediction_seconds,
+            "retrain": {
+                "started": engine.retrain_stats.started,
+                "succeeded": engine.retrain_stats.succeeded,
+                "failed": engine.retrain_stats.failed,
+                "deferred": engine.retrain_stats.deferred,
+            },
+            "model_epoch": engine._model_epoch,
+            "device": {
+                "writes": stats.writes,
+                "reads": stats.reads,
+                "bits_programmed": stats.bits_programmed,
+                "bits_flipped": stats.bits_flipped,
+                "write_energy_pj": stats.write_energy_pj,
+                "read_energy_pj": stats.read_energy_pj,
+                "write_latency_ns": stats.write_latency_ns,
+                "read_latency_ns": stats.read_latency_ns,
+            },
+            "wear": {
+                "max_segment_writes": int(
+                    self.device.segment_write_count.max()
+                ),
+                "total_segment_writes": int(
+                    self.device.segment_write_count.sum()
+                ),
+            },
+        }
+        if self.store.scrubber is not None:
+            out["scrub"] = self.store.scrubber.telemetry()
+        if self.store.compactor is not None:
+            out["compaction"] = self.store.compactor.telemetry()
+        return out

@@ -1,0 +1,541 @@
+"""`ShardedKVStore`: one KV facade over N independent shard slices.
+
+The facade owns a :class:`~repro.sharding.ring.HashRing` and an execution
+backend (in-process or per-shard worker processes) and presents the same
+surface as a single :class:`~repro.core.kvstore.KVStore`:
+
+- Point ops route by the ring to exactly one shard.
+- Batch ops (``put_many``/``get_many``) partition their keys by shard and
+  issue **one engine call per shard** — batched inference inside each
+  shard is preserved, and with the process backend the per-shard
+  sub-batches run concurrently on real cores.
+- Epoch-bumping events (``retrain()``) broadcast per shard; each shard
+  bumps its own model epoch under its own lock — there is no global lock
+  to convoy on.
+- Telemetry aggregates across shards with counter-correct semantics: plain
+  counters sum, latencies are re-derived from summed ``(seconds, count)``
+  pairs (weighted by count — never an average of per-shard means).
+
+Durable stores live in a directory: one device snapshot per shard plus a
+JSON manifest recording the shard count, ring parameters and per-shard
+geometry/paths, so ``open()`` rebuilds the identical ring (same routing)
+and recovers shard by shard — in parallel under the process backend.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import E2NVMConfig
+from repro.sharding.backends import InProcessBackend, ProcessBackend
+from repro.sharding.ring import HashRing
+from repro.sharding.shard import ShardSpec
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Aggregate-by-sum keys of each shard's placement telemetry.
+_PLACEMENT_SUM_KEYS = (
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_invalidations",
+    "cache_entries",
+    "cache_capacity",
+    "student_served",
+    "student_deferred",
+    "teacher_served",
+)
+_DEVICE_SUM_KEYS = (
+    "writes",
+    "reads",
+    "bits_programmed",
+    "bits_flipped",
+    "write_energy_pj",
+    "read_energy_pj",
+    "write_latency_ns",
+    "read_latency_ns",
+)
+_RETRAIN_SUM_KEYS = ("started", "succeeded", "failed", "deferred")
+
+
+def _sum_numeric(dicts: list[dict]) -> dict:
+    """Key-wise sum of numeric (non-bool) values across dicts — the rollup
+    for worker telemetry whose keys we do not enumerate here (scrub,
+    compaction)."""
+    out: dict = {}
+    for d in dicts:
+        for key, value in d.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            out[key] = out.get(key, 0) + value
+    return out
+
+
+def aggregate_telemetry(shard_telemetries: list[dict]) -> dict:
+    """Roll per-shard telemetry dicts (from ``Shard._op_telemetry``) into
+    one store-level view.
+
+    Counters (cache hits/misses, student served, device writes, energy,
+    retrain counts) **sum**.  ``mean_prediction_latency_us`` is re-derived
+    from the summed ``prediction_seconds`` / ``prediction_count`` pairs the
+    shards ship — weighting each shard by its prediction count.  Averaging
+    the per-shard means instead would let an idle shard (3 predictions)
+    drag the number as hard as a busy one (30k); that bug class is why the
+    shards ship raw pairs rather than their own means.
+    """
+    shards = list(shard_telemetries)
+    placement: dict = {k: 0 for k in _PLACEMENT_SUM_KEYS}
+    agreements = []
+    for t in shards:
+        p = t["placement"]
+        for key in _PLACEMENT_SUM_KEYS:
+            placement[key] += p[key]
+        if p.get("student_trained"):
+            agreements.append(p["student_train_agreement"])
+    placement["student_trained"] = bool(shards) and all(
+        t["placement"].get("student_trained") for t in shards
+    )
+    placement["student_low_agreement"] = any(
+        t["placement"].get("student_low_agreement") for t in shards
+    )
+    # The weakest shard's distillation fidelity bounds the fleet's serving
+    # behaviour; per-shard values stay visible under "shards".
+    placement["student_train_agreement"] = min(agreements, default=0.0)
+
+    total_count = sum(t["prediction_count"] for t in shards)
+    total_seconds = sum(t["prediction_seconds"] for t in shards)
+    mean_latency_us = (
+        total_seconds / total_count * 1e6 if total_count else 0.0
+    )
+
+    out = {
+        "n_shards": len(shards),
+        "n_keys": sum(t["n_keys"] for t in shards),
+        "read_only_shards": [
+            t["shard_id"] for t in shards if t["read_only"]
+        ],
+        "placement": placement,
+        "prediction_count": total_count,
+        "prediction_seconds": total_seconds,
+        "mean_prediction_latency_us": mean_latency_us,
+        "retrain": {
+            k: sum(t["retrain"][k] for t in shards)
+            for k in _RETRAIN_SUM_KEYS
+        },
+        "model_epochs": [t["model_epoch"] for t in shards],
+        "device": {
+            k: sum(t["device"][k] for t in shards)
+            for k in _DEVICE_SUM_KEYS
+        },
+        "wear": {
+            "max_segment_writes": max(
+                (t["wear"]["max_segment_writes"] for t in shards), default=0
+            ),
+            "total_segment_writes": sum(
+                t["wear"]["total_segment_writes"] for t in shards
+            ),
+        },
+        "shards": shards,
+    }
+    scrub = [t["scrub"] for t in shards if "scrub" in t]
+    if scrub:
+        out["scrub"] = _sum_numeric(scrub)
+    compaction = [t["compaction"] for t in shards if "compaction" in t]
+    if compaction:
+        out["compaction"] = _sum_numeric(compaction)
+    return out
+
+
+def _make_backend(specs: list[ShardSpec], mode: str, backend: str, start_method):
+    if backend == "inprocess":
+        return InProcessBackend(specs, mode)
+    if backend == "process":
+        return ProcessBackend(specs, mode, start_method=start_method)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+class ShardedKVStore:
+    """N independent shard slices behind one KV facade.
+
+    Build with :meth:`create` (durable, directory-backed),
+    :meth:`create_volatile` (benchmark/CI stores with no snapshot files)
+    or :meth:`open` (recover an existing directory).  Addresses returned
+    by PUT are *shard-local* device addresses; with one shard they match a
+    plain :class:`KVStore` byte for byte.
+    """
+
+    def __init__(
+        self,
+        backend,
+        ring: HashRing,
+        specs: list[ShardSpec],
+        root: Path | None = None,
+        backend_name: str = "inprocess",
+    ) -> None:
+        self.backend = backend
+        self.ring = ring
+        self.specs = list(specs)
+        self.root = root
+        self.backend_name = backend_name
+        self._closed = False
+
+    # ----------------------------------------------------------- construction
+
+    @staticmethod
+    def _build_specs(
+        n_shards: int,
+        *,
+        segment_size: int,
+        n_segments_per_shard: int,
+        durable: bool,
+        log_segments: int,
+        key_capacity: int,
+        config: E2NVMConfig | None,
+        base_seed: int,
+        root: Path | None,
+        scrubber: bool,
+        compactor: bool,
+    ) -> list[ShardSpec]:
+        specs = []
+        for shard_id in range(n_shards):
+            specs.append(
+                ShardSpec(
+                    shard_id=shard_id,
+                    segment_size=segment_size,
+                    n_segments=n_segments_per_shard,
+                    durable=durable,
+                    log_segments=log_segments,
+                    key_capacity=key_capacity,
+                    # Distinct per-shard seeds: each channel's free media
+                    # starts with its own content mix, so per-shard models
+                    # cluster independently.
+                    seed=base_seed + shard_id,
+                    config=config if config is not None else E2NVMConfig(),
+                    path=(
+                        str(root / f"shard-{shard_id}.npz")
+                        if root is not None
+                        else None
+                    ),
+                    scrubber=scrubber,
+                    compactor=compactor,
+                )
+            )
+        return specs
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        n_shards: int,
+        *,
+        segment_size: int = 64,
+        n_segments_per_shard: int = 128,
+        config: E2NVMConfig | None = None,
+        backend: str = "inprocess",
+        ring_seed: int = 0,
+        vnodes: int = 128,
+        log_segments: int = 2,
+        key_capacity: int = 32,
+        scrubber: bool = False,
+        compactor: bool = False,
+        base_seed: int = 7,
+        start_method: str | None = None,
+    ) -> "ShardedKVStore":
+        """Create a durable sharded store under directory ``root``.
+
+        Formats ``n_shards`` fresh shard slices (each trains its own
+        engine — in parallel under the process backend) and writes the
+        manifest.  Device snapshot files appear on :meth:`close`.
+        """
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        ring = HashRing(n_shards, seed=ring_seed, vnodes=vnodes)
+        specs = cls._build_specs(
+            n_shards,
+            segment_size=segment_size,
+            n_segments_per_shard=n_segments_per_shard,
+            durable=True,
+            log_segments=log_segments,
+            key_capacity=key_capacity,
+            config=config,
+            base_seed=base_seed,
+            root=root,
+            scrubber=scrubber,
+            compactor=compactor,
+        )
+        store = cls(
+            _make_backend(specs, "create", backend, start_method),
+            ring,
+            specs,
+            root=root,
+            backend_name=backend,
+        )
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def create_volatile(
+        cls,
+        n_shards: int,
+        *,
+        segment_size: int = 64,
+        n_segments_per_shard: int = 128,
+        config: E2NVMConfig | None = None,
+        backend: str = "inprocess",
+        ring_seed: int = 0,
+        vnodes: int = 128,
+        base_seed: int = 7,
+        start_method: str | None = None,
+    ) -> "ShardedKVStore":
+        """Create a volatile sharded store (no pool/catalog, no manifest) —
+        the benchmark configuration."""
+        ring = HashRing(n_shards, seed=ring_seed, vnodes=vnodes)
+        specs = cls._build_specs(
+            n_shards,
+            segment_size=segment_size,
+            n_segments_per_shard=n_segments_per_shard,
+            durable=False,
+            log_segments=0,
+            key_capacity=0,
+            config=config,
+            base_seed=base_seed,
+            root=None,
+            scrubber=False,
+            compactor=False,
+        )
+        return cls(
+            _make_backend(specs, "create", backend, start_method),
+            ring,
+            specs,
+            root=None,
+            backend_name=backend,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        root: str | Path,
+        *,
+        config: E2NVMConfig | None = None,
+        backend: str | None = None,
+        start_method: str | None = None,
+    ) -> "ShardedKVStore":
+        """Reopen the store at ``root`` from its manifest: identical ring
+        (same routing for every key) and full per-shard recovery — undo
+        rollback, catalog scan, DAP re-adoption — shard by shard, in
+        parallel under the process backend.
+
+        ``backend`` overrides the manifest's backend (a store created
+        in-process can reopen under workers and vice versa); ``config``
+        applies to every shard, like ``KVStore.open``'s config argument.
+        """
+        root = Path(root)
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"manifest version {manifest.get('version')} not supported"
+            )
+        ring = HashRing(**manifest["ring"])
+        specs = [
+            ShardSpec(
+                config=config if config is not None else E2NVMConfig(),
+                **entry,
+            )
+            for entry in manifest["shards"]
+        ]
+        if len(specs) != ring.n_shards:
+            raise ValueError(
+                f"manifest lists {len(specs)} shards but the ring expects "
+                f"{ring.n_shards}"
+            )
+        backend_name = backend or manifest.get("backend", "inprocess")
+        return cls(
+            _make_backend(specs, "open", backend_name, start_method),
+            ring,
+            specs,
+            root=root,
+            backend_name=backend_name,
+        )
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "ring": self.ring.describe(),
+            "backend": self.backend_name,
+            "shards": [spec.manifest_entry() for spec in self.specs],
+        }
+        path = self.root / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------- ops
+
+    @property
+    def n_shards(self) -> int:
+        return self.ring.n_shards
+
+    def shard_of(self, key: bytes) -> int:
+        """The shard that owns ``key`` (exposed for tests and tooling)."""
+        return self.ring.shard_of(key)
+
+    def put(self, key: bytes, value: bytes) -> int:
+        return self.backend.call(self.ring.shard_of(key), "put", (key, value))
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.backend.call(self.ring.shard_of(key), "get", (key,))
+
+    def delete(self, key: bytes) -> bool:
+        return self.backend.call(self.ring.shard_of(key), "delete", (key,))
+
+    def put_many(self, items: list[tuple[bytes, bytes]]) -> list[int]:
+        """Batched PUT: partition by shard, one ``put_many`` engine call
+        per shard (batched inference preserved inside each), results
+        scattered back to input order."""
+        groups = self.ring.partition([key for key, _ in items])
+        order = sorted(groups)
+        requests = [
+            (shard_id, "put_many", ([items[i] for i in groups[shard_id]],), None)
+            for shard_id in order
+        ]
+        per_shard = self.backend.call_many(requests)
+        out: list[int | None] = [None] * len(items)
+        for shard_id, addrs in zip(order, per_shard):
+            for i, addr in zip(groups[shard_id], addrs):
+                out[i] = addr
+        return out
+
+    def get_many(self, keys: list[bytes]) -> list[bytes | None]:
+        groups = self.ring.partition(keys)
+        order = sorted(groups)
+        requests = [
+            (shard_id, "get_many", ([keys[i] for i in groups[shard_id]],), None)
+            for shard_id in order
+        ]
+        per_shard = self.backend.call_many(requests)
+        out: list[bytes | None] = [None] * len(keys)
+        for shard_id, values in zip(order, per_shard):
+            for i, value in zip(groups[shard_id], values):
+                out[i] = value
+        return out
+
+    def __len__(self) -> int:
+        return sum(
+            self.backend.call_many(
+                [(s, "len", (), None) for s in range(self.n_shards)]
+            )
+        )
+
+    def keys(self) -> list[bytes]:
+        """All keys across shards, sorted (each shard yields its own in
+        order; the facade merges)."""
+        per_shard = self.backend.call_many(
+            [(s, "keys", (), None) for s in range(self.n_shards)]
+        )
+        out: list[bytes] = []
+        for ks in per_shard:
+            out.extend(ks)
+        out.sort()
+        return out
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------ epoch events
+
+    def retrain(self) -> list[bool]:
+        """Broadcast an epoch-bumping retrain to every shard.  Each shard
+        starts its own single-flight background retrain under its own
+        locks — no cross-shard barrier, no global lock.  Returns which
+        shards actually started one (``False`` = already retraining)."""
+        return self.backend.call_many(
+            [(s, "retrain", (), None) for s in range(self.n_shards)]
+        )
+
+    def wait_for_retrain(self, timeout: float | None = None) -> list[bool]:
+        return self.backend.call_many(
+            [(s, "wait_retrain", (timeout,), None) for s in range(self.n_shards)]
+        )
+
+    def model_epochs(self) -> list[int]:
+        return self.backend.call_many(
+            [(s, "model_epoch", (), None) for s in range(self.n_shards)]
+        )
+
+    def drain_relocations(self, budget: int | None = None) -> int:
+        return sum(
+            self.backend.call_many(
+                [
+                    (s, "drain_relocations", (budget,), None)
+                    for s in range(self.n_shards)
+                ]
+            )
+        )
+
+    # --------------------------------------------------------------- telemetry
+
+    def telemetry(self) -> dict:
+        """Aggregated telemetry across all shards (see
+        :func:`aggregate_telemetry` for the rollup semantics)."""
+        return aggregate_telemetry(
+            self.backend.call_many(
+                [(s, "telemetry", (), None) for s in range(self.n_shards)]
+            )
+        )
+
+    def placement_telemetry(self) -> dict:
+        """Aggregated fast-placement telemetry, shaped like a single
+        engine's ``placement_telemetry()`` plus the weighted
+        ``mean_prediction_latency_us``."""
+        rollup = self.telemetry()
+        out = dict(rollup["placement"])
+        out["mean_prediction_latency_us"] = rollup[
+            "mean_prediction_latency_us"
+        ]
+        return out
+
+    def recovery_reports(self) -> list:
+        """Per-shard :class:`RecoveryReport` (``None`` for shards built
+        fresh rather than recovered)."""
+        return self.backend.call_many(
+            [(s, "recovery_report", (), None) for s in range(self.n_shards)]
+        )
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def reopen_shard(self, shard_id: int) -> None:
+        """Recover one crashed shard (process backend): a fresh worker
+        re-attaches to the surviving shared-memory media and runs normal
+        recovery there.  Other shards are untouched throughout."""
+        self.backend.reopen_shard(shard_id)
+
+    def shard_alive(self, shard_id: int) -> bool:
+        return self.backend.shard_alive(shard_id)
+
+    def save(self) -> None:
+        """Snapshot every durable shard's device to its manifest path."""
+        if self.root is None:
+            raise ValueError("volatile sharded store has no snapshot paths")
+        self.backend.call_many(
+            [(s, "save", (), None) for s in range(self.n_shards)]
+        )
+
+    def close(self) -> None:
+        """Snapshot durable shards, then shut the backend down (worker
+        processes joined, shared memory released)."""
+        if self._closed:
+            return
+        try:
+            if self.root is not None:
+                self.save()
+        finally:
+            self.backend.close()
+            self._closed = True
+
+    def __enter__(self) -> "ShardedKVStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,350 @@
+"""Sharded facade semantics on the in-process backend (tier-1 safe).
+
+The in-process backend defines the sharded store's behaviour; the process
+backend must only change *where* shards execute.  These tests pin the
+behaviour: a one-shard store is byte-for-byte the plain ``KVStore``, batch
+ops scatter results back to input order, the manifest reopens to identical
+routing, and telemetry aggregates with counter-correct semantics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import fast_test_config
+from repro.core.e2nvm import E2NVM
+from repro.core.kvstore import KVStore
+from repro.nvm.controller import MemoryController
+from repro.nvm.device import NVMDevice
+from repro.pmem.catalog import PersistentCatalog
+from repro.pmem.pool import PersistentPool
+from repro.sharding import ShardedKVStore
+from repro.sharding.store import MANIFEST_NAME, aggregate_telemetry
+
+SEGMENT_SIZE = 64
+N_SEGMENTS = 96
+SEED = 7
+
+
+def _config():
+    return fast_test_config()
+
+
+def _trace(n: int, seed: int = 13):
+    rng = np.random.default_rng(seed)
+    items = []
+    for i in range(n):
+        length = int(rng.integers(8, SEGMENT_SIZE - 16))
+        items.append(
+            (b"key-%04d" % i, rng.integers(0, 256, length, dtype=np.uint8).tobytes())
+        )
+    return items
+
+
+def _plain_volatile_twin():
+    """A plain KVStore built exactly as Shard.build builds a volatile
+    one-shard slice (same seeds, same construction order)."""
+    device = NVMDevice(
+        capacity_bytes=N_SEGMENTS * SEGMENT_SIZE,
+        segment_size=SEGMENT_SIZE,
+        initial_fill="random",
+        seed=SEED,
+    )
+    engine = E2NVM(MemoryController(device), _config())
+    engine.train()
+    return KVStore(engine), device
+
+
+class TestSingleShardEquivalence:
+    def test_volatile_twin_byte_for_byte(self):
+        sharded = ShardedKVStore.create_volatile(
+            1,
+            segment_size=SEGMENT_SIZE,
+            n_segments_per_shard=N_SEGMENTS,
+            config=_config(),
+            base_seed=SEED,
+        )
+        plain, plain_device = _plain_volatile_twin()
+        items = _trace(40)
+
+        # Same mixed trace against both: batch, point, overwrite, delete.
+        batch, rest = items[:24], items[24:]
+        assert sharded.put_many(batch) == plain.put_many(batch)
+        for key, value in rest:
+            assert sharded.put(key, value) == plain.put(key, value)
+        for i in (0, 5, 11):
+            key, _ = items[i]
+            new = b"v2-" + bytes([i]) * 20
+            assert sharded.put(key, new) == plain.put(key, new)
+        for i in (3, 17):
+            key, _ = items[i]
+            assert sharded.delete(key) is plain.delete(key)
+
+        assert len(sharded) == len(plain)
+        assert sharded.keys() == sorted(plain.keys())
+        for key, _ in items:
+            assert sharded.get(key) == plain.get(key)
+
+        shard_device = sharded.backend.shard(0).device
+        np.testing.assert_array_equal(
+            shard_device._content, plain_device._content
+        )
+        sharded.close()
+
+    def test_durable_twin_byte_for_byte(self, tmp_path):
+        sharded = ShardedKVStore.create(
+            tmp_path / "store",
+            1,
+            segment_size=SEGMENT_SIZE,
+            n_segments_per_shard=N_SEGMENTS,
+            config=_config(),
+            base_seed=SEED,
+            log_segments=4,
+            key_capacity=16,
+        )
+        device = NVMDevice(
+            capacity_bytes=N_SEGMENTS * SEGMENT_SIZE,
+            segment_size=SEGMENT_SIZE,
+            initial_fill="random",
+            seed=SEED,
+        )
+        pool = PersistentPool(
+            MemoryController(device),
+            log_segments=4,
+            meta_segments=PersistentCatalog.meta_segments_for(
+                N_SEGMENTS, 4, SEGMENT_SIZE, 16
+            ),
+        )
+        plain = KVStore.create(pool, config=_config(), key_capacity=16)
+
+        items = _trace(20)
+        assert sharded.put_many(items[:12]) == plain.put_many(items[:12])
+        for key, value in items[12:]:
+            assert sharded.put(key, value) == plain.put(key, value)
+        key, _ = items[2]
+        assert sharded.delete(key) is plain.delete(key)
+
+        shard_device = sharded.backend.shard(0).device
+        np.testing.assert_array_equal(
+            shard_device._content, device._content
+        )
+        sharded.close()
+
+
+class TestFacadeOps:
+    @pytest.fixture
+    def store(self):
+        store = ShardedKVStore.create_volatile(
+            3,
+            segment_size=SEGMENT_SIZE,
+            n_segments_per_shard=N_SEGMENTS,
+            config=_config(),
+        )
+        yield store
+        store.close()
+
+    def test_put_many_scatters_to_input_order(self, store):
+        items = _trace(30)
+        addrs = store.put_many(items)
+        assert len(addrs) == len(items)
+        assert all(a is not None for a in addrs)
+        # get_many returns values in input order, across shards.
+        keys = [k for k, _ in items]
+        assert store.get_many(keys) == [v for _, v in items]
+        # Keys really spread over more than one shard.
+        owners = {store.shard_of(k) for k in keys}
+        assert len(owners) > 1
+
+    def test_routing_is_stable_per_key(self, store):
+        items = _trace(12)
+        store.put_many(items)
+        for key, value in items:
+            assert store.get(key) == value
+            new = value[::-1] or b"x"
+            store.put(key, new)
+            assert store.get(key) == new
+        assert len(store) == len(items)
+
+    def test_delete_and_contains(self, store):
+        items = _trace(10)
+        store.put_many(items)
+        key = items[4][0]
+        assert key in store
+        assert store.delete(key) is True
+        assert store.delete(key) is False
+        assert key not in store
+        assert len(store) == len(items) - 1
+
+    def test_retrain_broadcasts_per_shard(self, store):
+        epochs_before = store.model_epochs()
+        started = store.retrain()
+        assert started == [True] * store.n_shards
+        assert store.wait_for_retrain(30.0) == [True] * store.n_shards
+        epochs_after = store.model_epochs()
+        assert all(
+            after == before + 1
+            for before, after in zip(epochs_before, epochs_after)
+        )
+
+
+class TestManifest:
+    def test_create_close_open_round_trip(self, tmp_path):
+        root = tmp_path / "store"
+        store = ShardedKVStore.create(
+            root,
+            2,
+            segment_size=SEGMENT_SIZE,
+            n_segments_per_shard=N_SEGMENTS,
+            config=_config(),
+            log_segments=4,
+            key_capacity=16,
+            ring_seed=42,
+        )
+        items = _trace(16)
+        store.put_many(items)
+        store.close()
+
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert manifest["ring"] == {"n_shards": 2, "seed": 42, "vnodes": 128}
+        assert len(manifest["shards"]) == 2
+        assert all((root / f"shard-{i}.npz").exists() for i in range(2))
+
+        reopened = ShardedKVStore.open(root, config=_config())
+        assert reopened.ring.describe() == store.ring.describe()
+        for key, value in items:
+            assert reopened.get(key) == value
+        reports = reopened.recovery_reports()
+        assert len(reports) == 2
+        assert all(r is not None for r in reports)
+        reopened.close()
+
+    def test_open_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ShardedKVStore.open(tmp_path / "nope")
+
+
+def _shard_telemetry(
+    shard_id,
+    *,
+    count,
+    seconds,
+    hits=0,
+    served=0,
+    agreement=1.0,
+    writes=0,
+    max_wear=0,
+    total_wear=0,
+    read_only=False,
+):
+    return {
+        "shard_id": shard_id,
+        "n_keys": 10,
+        "read_only": read_only,
+        "placement": {
+            "cache_hits": hits,
+            "cache_misses": 1,
+            "cache_evictions": 0,
+            "cache_invalidations": 0,
+            "cache_entries": 2,
+            "cache_capacity": 64,
+            "student_served": served,
+            "student_deferred": 0,
+            "teacher_served": 1,
+            "student_trained": True,
+            "student_train_agreement": agreement,
+            "student_low_agreement": False,
+        },
+        "prediction_count": count,
+        "prediction_seconds": seconds,
+        "retrain": {"started": 1, "succeeded": 1, "failed": 0, "deferred": 0},
+        "model_epoch": 1,
+        "device": {
+            "writes": writes,
+            "reads": 0,
+            "bits_programmed": 8 * writes,
+            "bits_flipped": writes,
+            "write_energy_pj": 2.0 * writes,
+            "read_energy_pj": 0.0,
+            "write_latency_ns": 150.0 * writes,
+            "read_latency_ns": 0.0,
+        },
+        "wear": {
+            "max_segment_writes": max_wear,
+            "total_segment_writes": total_wear,
+        },
+    }
+
+
+class TestTelemetryAggregation:
+    def test_latency_is_weighted_by_count_not_averaged(self):
+        # Shard 0: 3 predictions at 1 us.  Shard 1: 30000 at 100 us.  The
+        # naive average of means would say ~50 us; the fleet really runs
+        # at ~100 us.
+        rollup = aggregate_telemetry(
+            [
+                _shard_telemetry(0, count=3, seconds=3e-6),
+                _shard_telemetry(1, count=30_000, seconds=3.0),
+            ]
+        )
+        assert rollup["prediction_count"] == 30_003
+        assert rollup["mean_prediction_latency_us"] == pytest.approx(
+            3.000003 / 30_003 * 1e6
+        )
+        assert rollup["mean_prediction_latency_us"] > 99.0
+
+    def test_counters_sum_and_extrema(self):
+        rollup = aggregate_telemetry(
+            [
+                _shard_telemetry(
+                    0, count=1, seconds=1e-6, hits=10, served=5,
+                    agreement=0.9, writes=100, max_wear=7, total_wear=40,
+                ),
+                _shard_telemetry(
+                    1, count=1, seconds=1e-6, hits=20, served=2,
+                    agreement=0.6, writes=50, max_wear=12, total_wear=30,
+                    read_only=True,
+                ),
+            ]
+        )
+        assert rollup["placement"]["cache_hits"] == 30
+        assert rollup["placement"]["student_served"] == 7
+        assert rollup["placement"]["student_train_agreement"] == 0.6  # min
+        assert rollup["device"]["writes"] == 150
+        assert rollup["device"]["write_energy_pj"] == pytest.approx(300.0)
+        assert rollup["wear"]["max_segment_writes"] == 12  # max, not sum
+        assert rollup["wear"]["total_segment_writes"] == 70
+        assert rollup["retrain"]["started"] == 2
+        assert rollup["read_only_shards"] == [1]
+        assert rollup["n_keys"] == 20
+        assert rollup["n_shards"] == 2
+
+    def test_zero_predictions_do_not_divide_by_zero(self):
+        rollup = aggregate_telemetry(
+            [_shard_telemetry(0, count=0, seconds=0.0)]
+        )
+        assert rollup["mean_prediction_latency_us"] == 0.0
+
+    def test_live_two_shard_rollup_matches_per_shard_sums(self):
+        store = ShardedKVStore.create_volatile(
+            2,
+            segment_size=SEGMENT_SIZE,
+            n_segments_per_shard=N_SEGMENTS,
+            config=_config(),
+        )
+        store.put_many(_trace(24))
+        rollup = store.telemetry()
+        per_shard = rollup["shards"]
+        assert rollup["prediction_count"] == sum(
+            t["prediction_count"] for t in per_shard
+        )
+        assert rollup["placement"]["cache_misses"] == sum(
+            t["placement"]["cache_misses"] for t in per_shard
+        )
+        assert rollup["n_keys"] == 24
+        placement = store.placement_telemetry()
+        assert placement["cache_misses"] == rollup["placement"]["cache_misses"]
+        assert "mean_prediction_latency_us" in placement
+        store.close()
