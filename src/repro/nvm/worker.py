@@ -36,6 +36,9 @@ class MaintenanceWorker:
         self.interval_s = interval_s
         self.name = name
         self.last_error: BaseException | None = None
+        #: Rounds the background loop has completed (successful or not) —
+        #: the cadence signal supervision telemetry rolls up.
+        self.rounds_completed = 0
         self._admin_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -96,6 +99,18 @@ class MaintenanceWorker:
     def paused(self) -> bool:
         return not self._resume.is_set()
 
+    def info(self) -> dict:
+        """Picklable supervision snapshot of this worker's loop state."""
+        return {
+            "name": self.name,
+            "running": self.running,
+            "paused": self.paused,
+            "rounds_completed": self.rounds_completed,
+            "last_error": (
+                repr(self.last_error) if self.last_error is not None else None
+            ),
+        }
+
     def _worker(self) -> None:
         """Exception-safe maintenance loop: a failing round is recorded
         (``_note_worker_error``) and the loop keeps going."""
@@ -107,4 +122,5 @@ class MaintenanceWorker:
                 self.run_once()
             except Exception as exc:  # noqa: BLE001 - isolation by design
                 self._note_worker_error(exc)
+            self.rounds_completed += 1
             self._stop.wait(self.interval_s)

@@ -19,25 +19,38 @@ package models the same structure at the storage layer:
   aggregate ops/s multiplies instead of serialising on the GIL;
 - :class:`~repro.sharding.store.ShardedKVStore` — the facade: batch ops
   routed by shard (one engine call per shard), cross-shard telemetry
-  rollup, per-shard epoch events, and manifest-based create/open/close
-  with shard-by-shard crash recovery.
+  rollup, per-shard epoch events, manifest-based create/open/close with
+  shard-by-shard crash recovery, and degraded-mode routing
+  (``fail_fast`` / ``partial`` / ``block``) when shards are down;
+- :class:`~repro.sharding.supervisor.ShardSupervisor` — the self-healing
+  loop: heartbeat watchdog (hung workers killed), automatic reopen with
+  exponential backoff under a restart budget, and per-shard circuit
+  breakers when the budget runs dry.
 """
 
 from repro.sharding.backends import (
     InProcessBackend,
     ProcessBackend,
     ShardCrashedError,
+    ShardHungError,
+    ShardUnavailableError,
 )
 from repro.sharding.ring import HashRing
 from repro.sharding.shard import Shard, ShardSpec
-from repro.sharding.store import ShardedKVStore
+from repro.sharding.store import BatchReport, ShardedKVStore
+from repro.sharding.supervisor import ShardCircuitOpenError, ShardSupervisor
 
 __all__ = [
+    "BatchReport",
     "HashRing",
     "InProcessBackend",
     "ProcessBackend",
     "Shard",
+    "ShardCircuitOpenError",
     "ShardCrashedError",
+    "ShardHungError",
+    "ShardSupervisor",
     "ShardSpec",
+    "ShardUnavailableError",
     "ShardedKVStore",
 ]

@@ -6,7 +6,11 @@ Two interchangeable backends serve the facade:
   objects in this process, one lock per shard.  The correctness baseline
   (and the fallback where ``fork`` + shared memory are unavailable): every
   behaviour of the sharded store is defined by this backend, and the
-  process backend must match it.
+  process backend must match it.  Crash and hang cannot happen for real
+  here, so the backend carries *simulation hooks*
+  (:meth:`InProcessBackend.inject_crash` and friends) with the same
+  observable surface — supervisor and circuit-breaker logic is testable
+  in tier-1 without spawning a single process.
 - :class:`ProcessBackend` — one worker *process* per shard, talking over a
   request/response pipe, with the shard's device content array backed by a
   ``multiprocessing.shared_memory.SharedMemory`` block the parent owns.
@@ -21,17 +25,44 @@ spawns a fresh worker that re-attaches to the same block and runs ordinary
 undo-log recovery — only that shard's in-flight transaction rolls back;
 every other shard never notices.
 
+Liveness is supervised, not assumed:
+
+- Every RPC has a **deadline**: the response wait is a
+  ``Connection.poll(timeout)``, never a bare ``recv()``.  A worker that
+  does not answer in time is *hung* — after a deadline the pipe is
+  desynchronised (a late reply could pair with the wrong request), so the
+  only safe recovery is to kill the worker and raise
+  :class:`ShardHungError`; a fresh worker then re-attaches to the media.
+- Every worker ships a **heartbeat**: a background thread stamping a
+  monotonic timestamp into a shared value ~10×/s.  A SIGSTOP'd or
+  wedged worker stops beating long before any RPC deadline expires, and
+  the :class:`~repro.sharding.supervisor.ShardSupervisor` watchdog kills
+  it from outside — which closes the pipe and wakes any in-flight
+  ``poll`` immediately.
+- **Teardown is bounded**: ``close()`` and ``reopen_shard()`` never issue
+  an unbounded ``join()``/``recv()``; a worker that does not exit within
+  its grace period is SIGTERM'd, then SIGKILL'd (SIGKILL also reaps
+  SIGSTOP'd workers, which ignore SIGTERM while stopped).
+
 Both backends speak the same protocol: ``call(shard_id, op, args)`` for one
 shard, ``call_many(requests)`` to fan a batch out (the process backend
 sends every request before collecting any response, which is where the
-parallelism comes from).
+parallelism comes from).  When shards die mid-``call_many``, survivors'
+results are **not** discarded: the raised error carries
+``partial_results`` (aligned to the request list) and a per-shard
+``shard_status`` map, so callers — and the facade's degraded mode — can
+keep the committed work.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
+import time
 from multiprocessing import shared_memory
+from multiprocessing.sharedctypes import RawValue
 from threading import RLock
 
 from repro.sharding.shard import Shard, ShardSpec
@@ -42,31 +73,125 @@ from repro.testing.faults import CrashError
 #: memory.
 _CRASH_EXIT_STATUS = 17
 
+#: Default per-op response deadline (seconds).  ``None`` entries in
+#: ``op_deadlines`` disable the deadline for that op (the heartbeat
+#: watchdog still covers a wedged worker).
+DEFAULT_DEADLINE_S = 60.0
 
-class ShardCrashedError(RuntimeError):
+#: Ops whose duration is caller-controlled or legitimately long; their
+#: deadline defaults to unbounded (watchdog-covered) instead of
+#: ``deadline_s``.
+DEFAULT_OP_DEADLINES: dict[str, float | None] = {
+    "wait_retrain": None,
+}
+
+#: Seconds a worker gets to exit after SIGTERM before SIGKILL.
+DEFAULT_KILL_GRACE_S = 1.0
+
+#: Seconds a worker gets to answer ``__shutdown__`` and exit on close.
+DEFAULT_CLOSE_GRACE_S = 5.0
+
+#: Seconds a fresh worker gets to boot (build/recover its shard — model
+#: training included, hence generous).
+DEFAULT_BOOT_DEADLINE_S = 300.0
+
+#: Worker heartbeat stamp period (seconds).
+HEARTBEAT_INTERVAL_S = 0.05
+
+
+class ShardUnavailableError(RuntimeError):
+    """A shard cannot serve right now (dead worker, hung worker, or an
+    open circuit breaker).
+
+    Attributes:
+        shard_ids: the affected shards, sorted.
+        partial_results: set by ``call_many`` — results aligned to the
+            request list, ``None`` for requests the unavailable shards
+            owned.  Survivors' committed work is never discarded.
+        shard_status: set by ``call_many`` — ``shard_id -> "ok" |
+            "crashed" | "hung" | "error"`` for every shard in the batch.
+    """
+
+    def __init__(self, shard_ids: list[int], message: str) -> None:
+        self.shard_ids = sorted(shard_ids)
+        self.partial_results: list | None = None
+        self.shard_status: dict[int, str] = {}
+        super().__init__(message)
+
+
+class ShardCrashedError(ShardUnavailableError):
     """A shard's worker process died mid-operation.
 
     The facade's data on every *other* shard is unaffected; call
-    ``ShardedKVStore.reopen_shard(shard_id)`` to recover the crashed one
-    from its surviving shared-memory media (undo-log rollback included).
+    ``ShardedKVStore.reopen_shard(shard_id)`` (or let the
+    :class:`~repro.sharding.supervisor.ShardSupervisor` do it) to recover
+    the crashed one from its surviving shared-memory media (undo-log
+    rollback included).
     """
 
     def __init__(self, shard_ids: list[int]) -> None:
-        self.shard_ids = sorted(shard_ids)
         super().__init__(
-            f"shard worker(s) {self.shard_ids} died mid-operation; "
-            "reopen_shard() recovers them from the surviving media"
+            shard_ids,
+            f"shard worker(s) {sorted(shard_ids)} died mid-operation; "
+            "reopen_shard() recovers them from the surviving media",
         )
+
+
+class ShardHungError(ShardCrashedError):
+    """A shard's worker missed its response deadline (or its heartbeat
+    went stale) and was killed.
+
+    Subclasses :class:`ShardCrashedError` because after the kill the
+    worker *is* dead and recovery is identical: a fresh worker re-attaches
+    to the surviving media and rolls back the in-flight transaction.
+    """
+
+    def __init__(self, shard_ids: list[int], deadline_s: float | None) -> None:
+        ShardUnavailableError.__init__(
+            self,
+            shard_ids,
+            f"shard worker(s) {sorted(shard_ids)} missed their response "
+            f"deadline ({deadline_s}s) and were killed; reopen_shard() "
+            "recovers them from the surviving media",
+        )
+        self.deadline_s = deadline_s
 
 
 class InProcessBackend:
     """All shards in this process; one lock per shard (per-shard lock
-    domains — never a global one)."""
+    domains — never a global one).
+
+    Fault *simulation* hooks give this backend the same unavailability
+    surface as the process backend, so supervisor/breaker/degraded-mode
+    logic runs in tier-1:
+
+    - :meth:`inject_crash` — subsequent calls raise
+      :class:`ShardCrashedError` until :meth:`reopen_shard`.
+    - :meth:`inject_hang` — the next call "misses its deadline": the
+      shard is killed (marked crashed) and :class:`ShardHungError` is
+      raised; the heartbeat age grows from the injection instant so a
+      watchdog can also detect it without calling.
+    - :meth:`inject_reopen_failures` — the next N ``reopen_shard`` calls
+      raise, exercising restart-budget exhaustion.
+
+    The simulation is *routing-level*: the shard object and its media are
+    untouched (nothing actually dies in-process), which is exactly what
+    supervisor logic needs — media-level crash fidelity lives in the
+    process backend and the crash sweeps.  A real :class:`CrashError`
+    escaping a shard op is converted to the same crashed state for
+    parity.
+    """
 
     def __init__(self, specs: list[ShardSpec], mode: str) -> None:
         self.specs = list(specs)
         self._shards = [Shard.build(spec, mode) for spec in specs]
         self._locks = [RLock() for _ in specs]
+        self._crashed = [False] * len(specs)
+        self._hung = [False] * len(specs)
+        self._hang_since: list[float | None] = [None] * len(specs)
+        self._reopen_failures = [0] * len(specs)
+        self.kills = [0] * len(specs)
+        self.reopens = [0] * len(specs)
 
     @property
     def n_shards(self) -> int:
@@ -76,29 +201,137 @@ class InProcessBackend:
         """Direct access for tests (twin-object comparisons)."""
         return self._shards[shard_id]
 
-    def call(self, shard_id: int, op: str, args: tuple = (), kwargs=None):
-        with self._locks[shard_id]:
-            return self._shards[shard_id].execute(op, args, kwargs)
+    # ------------------------------------------------------- fault simulation
 
-    def call_many(self, requests: list[tuple[int, str, tuple, dict | None]]):
+    def inject_crash(self, shard_id: int) -> None:
+        """Simulate the shard's worker dying: calls raise
+        :class:`ShardCrashedError` until :meth:`reopen_shard`."""
+        self._crashed[shard_id] = True
+
+    def inject_hang(self, shard_id: int) -> None:
+        """Simulate the shard's worker wedging: its heartbeat goes stale
+        now, and the next call to it times out (killing it)."""
+        self._hung[shard_id] = True
+        self._hang_since[shard_id] = time.monotonic()
+
+    def inject_reopen_failures(self, shard_id: int, times: int) -> None:
+        """Make the next ``times`` reopen attempts of ``shard_id`` fail —
+        the restart-budget-exhaustion drill."""
+        self._reopen_failures[shard_id] = times
+
+    # ----------------------------------------------------------------- calls
+
+    def _check_available(self, shard_id: int) -> None:
+        if self._hung[shard_id]:
+            # The simulated deadline expires: kill the "worker" exactly as
+            # the process backend would, then surface the hang.
+            self.kill_shard(shard_id, hung=True)
+            raise ShardHungError([shard_id], DEFAULT_DEADLINE_S)
+        if self._crashed[shard_id]:
+            raise ShardCrashedError([shard_id])
+
+    def call(self, shard_id: int, op: str, args: tuple = (), kwargs=None):
+        self._check_available(shard_id)
+        with self._locks[shard_id]:
+            try:
+                return self._shards[shard_id].execute(op, args, kwargs)
+            except CrashError:
+                # Parity with a worker's os._exit: the shard is gone until
+                # reopened.  (Routing-level only — in-process state is not
+                # discarded; media-fidelity crashes live in the process
+                # backend.)
+                self._crashed[shard_id] = True
+                raise ShardCrashedError([shard_id]) from None
+
+    def call_many(
+        self,
+        requests: list[tuple[int, str, tuple, dict | None]],
+        *,
+        deadline: float | None = ...,
+    ):
         """Execute ``(shard_id, op, args, kwargs)`` requests; results in
         request order.  Sequential here — the in-process backend is the
-        semantics baseline, not the fast path."""
-        return [
-            self.call(shard_id, op, args, kwargs)
-            for shard_id, op, args, kwargs in requests
-        ]
+        semantics baseline, not the fast path — but failure semantics
+        match the process backend: survivors still execute and their
+        results ride on the raised error (``partial_results``).
+        ``deadline`` is accepted for interface parity and ignored (calls
+        run on the caller's thread)."""
+        results: list = []
+        status: dict[int, str] = {}
+        first_error: BaseException | None = None
+        for shard_id, op, args, kwargs in requests:
+            try:
+                results.append(self.call(shard_id, op, args, kwargs))
+            except ShardHungError:
+                status[shard_id] = "hung"
+                results.append(None)
+            except ShardCrashedError:
+                status[shard_id] = "crashed"
+                results.append(None)
+            except Exception as exc:  # noqa: BLE001 - deferred like process
+                status[shard_id] = "error"
+                first_error = first_error or exc
+                results.append(None)
+            else:
+                status.setdefault(shard_id, "ok")
+        bad = [s for s, st in status.items() if st in ("crashed", "hung")]
+        if bad:
+            if all(status[s] == "hung" for s in bad):
+                exc = ShardHungError(bad, DEFAULT_DEADLINE_S)
+            else:
+                exc = ShardCrashedError(bad)
+            exc.partial_results = results
+            exc.shard_status = status
+            raise exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------- liveness
 
     def shard_alive(self, shard_id: int) -> bool:
-        return 0 <= shard_id < len(self._shards)
+        # A hung shard still counts as alive — exactly like a SIGSTOP'd
+        # worker process, which the OS reports alive until the watchdog
+        # (reading its stale heartbeat) kills it.
+        return 0 <= shard_id < len(self._shards) and not self._crashed[
+            shard_id
+        ]
+
+    def heartbeat_age(self, shard_id: int) -> float:
+        """Seconds since the shard's last (simulated) heartbeat: 0 while
+        healthy, growing from the :meth:`inject_hang` instant."""
+        since = self._hang_since[shard_id]
+        return 0.0 if since is None else time.monotonic() - since
+
+    def kill_shard(self, shard_id: int, *, hung: bool = False) -> None:
+        """Simulated SIGTERM→SIGKILL: the shard is crashed afterwards."""
+        self._hung[shard_id] = False
+        self._hang_since[shard_id] = None
+        self._crashed[shard_id] = True
+        self.kills[shard_id] += 1
 
     def reopen_shard(self, shard_id: int) -> None:
-        raise RuntimeError(
-            "in-process shards cannot crash independently; reopen_shard is "
-            "a process-backend operation"
-        )
+        """Recover a (simulated-)crashed shard: clear the fault flags.
+
+        Raises while the shard is alive (parity with the process
+        backend), and honours :meth:`inject_reopen_failures`."""
+        if self.shard_alive(shard_id):
+            raise RuntimeError(
+                f"shard {shard_id} is alive; reopen is for crashed shards"
+            )
+        if self._reopen_failures[shard_id] > 0:
+            self._reopen_failures[shard_id] -= 1
+            raise RuntimeError(
+                f"injected reopen failure on shard {shard_id}"
+            )
+        self._crashed[shard_id] = False
+        self._hung[shard_id] = False
+        self._hang_since[shard_id] = None
+        self.reopens[shard_id] += 1
 
     def close(self) -> None:
+        for shard in self._shards:
+            shard.stop_maintenance()
         self._shards = []
 
 
@@ -111,10 +344,29 @@ def _send_error(conn, exc: BaseException) -> None:
         conn.send(("err", RuntimeError(f"{type(exc).__name__}: {exc}")))
 
 
-def _shard_worker(conn, shm_name: str, spec: ShardSpec, mode: str) -> None:
+def _beat(heartbeat, stop: threading.Event) -> None:
+    """Heartbeat loop: stamp a monotonic timestamp ~10×/s.  Runs as a
+    daemon thread in the worker; a SIGSTOP freezes it (with every other
+    thread), which is exactly the signal the watchdog reads."""
+    while not stop.wait(HEARTBEAT_INTERVAL_S):
+        heartbeat.value = time.monotonic()
+
+
+def _shard_worker(conn, shm_name: str, spec: ShardSpec, mode: str, heartbeat) -> None:
     """Worker main: build the shard over the shared media, then serve the
-    request/response loop until shutdown (or simulated crash)."""
+    request/response loop until shutdown (or simulated crash).
+
+    The heartbeat thread starts *before* the build so a worker stuck in
+    model training still reads as alive; maintenance workers (scrubber /
+    compactor / retrain ticker) are paused around each foreground op and
+    stopped on clean shutdown."""
     shm = shared_memory.SharedMemory(name=shm_name)
+    heartbeat.value = time.monotonic()
+    beat_stop = threading.Event()
+    threading.Thread(
+        target=_beat, args=(heartbeat, beat_stop), daemon=True,
+        name=f"shard-{spec.shard_id}-heartbeat",
+    ).start()
     shard = None
     try:
         try:
@@ -129,8 +381,10 @@ def _shard_worker(conn, shm_name: str, spec: ShardSpec, mode: str) -> None:
             except EOFError:
                 return  # parent went away; nothing to serve
             if op == "__shutdown__":
+                shard.stop_maintenance()
                 conn.send(("ok", None))
                 return
+            shard.pause_maintenance()
             try:
                 result = shard.execute(op, args, kwargs)
             except CrashError:
@@ -142,7 +396,10 @@ def _shard_worker(conn, shm_name: str, spec: ShardSpec, mode: str) -> None:
                 _send_error(conn, exc)
             else:
                 conn.send(("ok", result))
+            finally:
+                shard.resume_maintenance()
     finally:
+        beat_stop.set()
         # Release our view of the media.  NumPy may still hold exported
         # buffer pointers through the device array; process exit reclaims
         # them either way.
@@ -154,7 +411,12 @@ def _shard_worker(conn, shm_name: str, spec: ShardSpec, mode: str) -> None:
 
 
 class _WorkerHandle:
-    """Parent-side state of one shard worker."""
+    """Parent-side state of one shard worker.
+
+    ``lock`` serialises the send→recv conversation (and reopen) per
+    shard; ``kill_shard`` deliberately does *not* take it — an os-level
+    kill closes the worker's pipe end, which wakes any in-flight
+    ``poll`` immediately with EOF."""
 
     def __init__(self, spec: ShardSpec, shm) -> None:
         self.spec = spec
@@ -162,6 +424,10 @@ class _WorkerHandle:
         self.process = None
         self.conn = None
         self.crashed = False
+        self.hung = False
+        self.lock = RLock()
+        self.heartbeat = RawValue("d", 0.0)
+        self.spawned_at = 0.0
 
 
 class ProcessBackend:
@@ -176,6 +442,16 @@ class ProcessBackend:
         start_method: multiprocessing start method; default prefers
             ``fork`` (cheap, inherits the imported stack) and falls back
             to the platform default elsewhere.
+        deadline_s: default per-RPC response deadline; a worker that
+            does not answer in time is killed and the call raises
+            :class:`ShardHungError`.  ``None`` disables deadlines (the
+            heartbeat watchdog still covers wedged workers).
+        op_deadlines: per-op deadline overrides (``{"op": seconds}``;
+            ``None`` values mean unbounded for that op).  Merged over
+            :data:`DEFAULT_OP_DEADLINES`.
+        kill_grace_s: seconds between SIGTERM and SIGKILL when a worker
+            must die.
+        boot_deadline_s: seconds a fresh worker gets to report ready.
     """
 
     def __init__(
@@ -183,8 +459,23 @@ class ProcessBackend:
         specs: list[ShardSpec],
         mode: str,
         start_method: str | None = None,
+        *,
+        deadline_s: float | None = DEFAULT_DEADLINE_S,
+        op_deadlines: dict[str, float | None] | None = None,
+        kill_grace_s: float = DEFAULT_KILL_GRACE_S,
+        close_grace_s: float = DEFAULT_CLOSE_GRACE_S,
+        boot_deadline_s: float = DEFAULT_BOOT_DEADLINE_S,
     ) -> None:
         self.specs = list(specs)
+        self.deadline_s = deadline_s
+        self.op_deadlines = dict(DEFAULT_OP_DEADLINES)
+        if op_deadlines:
+            self.op_deadlines.update(op_deadlines)
+        self.kill_grace_s = kill_grace_s
+        self.close_grace_s = close_grace_s
+        self.boot_deadline_s = boot_deadline_s
+        self.kills = [0] * len(specs)
+        self.reopens = [0] * len(specs)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else None
@@ -209,11 +500,21 @@ class ProcessBackend:
     def n_shards(self) -> int:
         return len(self._handles)
 
+    def _deadline_for(self, op: str) -> float | None:
+        if op in self.op_deadlines:
+            return self.op_deadlines[op]
+        return self.deadline_s
+
     def _spawn(self, handle: _WorkerHandle, mode: str) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
+        handle.spawned_at = time.monotonic()
+        handle.heartbeat.value = handle.spawned_at
         process = self._ctx.Process(
             target=_shard_worker,
-            args=(child_conn, handle.shm.name, handle.spec, mode),
+            args=(
+                child_conn, handle.shm.name, handle.spec, mode,
+                handle.heartbeat,
+            ),
             daemon=True,
             name=f"shard-{handle.spec.shard_id}",
         )
@@ -222,81 +523,157 @@ class ProcessBackend:
         handle.process = process
         handle.conn = parent_conn
         handle.crashed = False
+        handle.hung = False
 
     def _await_ready(self, handle: _WorkerHandle) -> None:
-        status, payload = self._recv(handle)
+        status, payload = self._recv(handle, self.boot_deadline_s)
         if status != "ready":
             raise payload
 
-    def _recv(self, handle: _WorkerHandle):
+    def _recv(self, handle: _WorkerHandle, deadline: float | None):
+        """Bounded response wait: ``poll(deadline)`` then ``recv()``.
+
+        A missed deadline means the pipe is desynchronised (a late reply
+        would pair with the wrong request), so the worker is killed and
+        the call raises :class:`ShardHungError`.  A closed pipe (worker
+        died, or the watchdog killed it from outside) raises
+        :class:`ShardCrashedError`/:class:`ShardHungError` immediately —
+        the RPC never outlives the worker."""
         try:
+            if deadline is not None and not handle.conn.poll(deadline):
+                self.kill_shard(handle.spec.shard_id, hung=True)
+                raise ShardHungError([handle.spec.shard_id], deadline)
             return handle.conn.recv()
         except (EOFError, OSError):
+            was_hung = handle.hung
             handle.crashed = True
-            handle.conn.close()
-            handle.process.join()
+            self._join_bounded(handle.process, self.kill_grace_s)
+            if was_hung:
+                raise ShardHungError(
+                    [handle.spec.shard_id], deadline
+                ) from None
             raise ShardCrashedError([handle.spec.shard_id]) from None
 
     def _send(self, handle: _WorkerHandle, message) -> None:
         if handle.crashed:
+            if handle.hung:
+                raise ShardHungError([handle.spec.shard_id], None)
             raise ShardCrashedError([handle.spec.shard_id])
         try:
             handle.conn.send(message)
         except (BrokenPipeError, OSError):
             handle.crashed = True
-            handle.process.join()
+            self._join_bounded(handle.process, self.kill_grace_s)
             raise ShardCrashedError([handle.spec.shard_id]) from None
 
-    def call(self, shard_id: int, op: str, args: tuple = (), kwargs=None):
+    @staticmethod
+    def _join_bounded(process, timeout: float) -> None:
+        if process is not None:
+            process.join(timeout)
+
+    def call(
+        self,
+        shard_id: int,
+        op: str,
+        args: tuple = (),
+        kwargs=None,
+        *,
+        deadline: float | None = ...,
+    ):
         handle = self._handles[shard_id]
-        self._send(handle, (op, args, kwargs))
-        status, payload = self._recv(handle)
+        if deadline is ...:
+            deadline = self._deadline_for(op)
+        with handle.lock:
+            self._send(handle, (op, args, kwargs))
+            status, payload = self._recv(handle, deadline)
         if status == "err":
             raise payload
         return payload
 
-    def call_many(self, requests: list[tuple[int, str, tuple, dict | None]]):
+    def call_many(
+        self,
+        requests: list[tuple[int, str, tuple, dict | None]],
+        *,
+        deadline: float | None = ...,
+    ):
         """Fan out: send every request before collecting any response, so
         the workers run concurrently.  At most one in-flight request per
         shard (the facade groups batches by shard before calling).
+        ``deadline`` overrides the per-op defaults for every request in
+        the batch (``None`` waits unbounded) — the close path uses this
+        to keep a best-effort snapshot from waiting out a long op budget
+        on a hung worker.
 
-        If any worker dies mid-batch, the surviving shards' responses are
-        still drained (their sub-batches commit normally) and a single
-        :class:`ShardCrashedError` naming every dead shard is raised."""
-        sent: list[tuple[int, _WorkerHandle] | None] = []
-        crashed: set[int] = set()
+        If any worker dies or hangs mid-batch, the surviving shards'
+        responses are still drained (their sub-batches commit normally)
+        and a single :class:`ShardCrashedError`/:class:`ShardHungError`
+        naming every dead shard is raised — with ``partial_results``
+        (request-aligned, survivors' results included) and a per-shard
+        ``shard_status`` map attached so callers can keep the committed
+        work."""
+        sent: list[tuple[int, _WorkerHandle, float | None] | None] = []
+        status_by_shard: dict[int, str] = {}
         for shard_id, op, args, kwargs in requests:
             handle = self._handles[shard_id]
+            handle.lock.acquire()
             try:
                 self._send(handle, (op, args, kwargs))
+            except ShardHungError:
+                handle.lock.release()
+                status_by_shard[shard_id] = "hung"
+                sent.append(None)
             except ShardCrashedError:
-                crashed.add(shard_id)
+                handle.lock.release()
+                status_by_shard[shard_id] = "crashed"
                 sent.append(None)
             else:
-                sent.append((shard_id, handle))
+                sent.append((
+                    shard_id,
+                    handle,
+                    self._deadline_for(op) if deadline is ... else deadline,
+                ))
         results = []
         first_error: BaseException | None = None
         for entry in sent:
             if entry is None:
                 results.append(None)
                 continue
-            shard_id, handle = entry
+            shard_id, handle, deadline = entry
             try:
-                status, payload = self._recv(handle)
-            except ShardCrashedError:
-                crashed.add(shard_id)
+                status, payload = self._recv(handle, deadline)
+            except ShardHungError:
+                status_by_shard[shard_id] = "hung"
                 results.append(None)
                 continue
+            except ShardCrashedError:
+                status_by_shard[shard_id] = "crashed"
+                results.append(None)
+                continue
+            finally:
+                handle.lock.release()
             if status == "err":
+                status_by_shard[shard_id] = "error"
                 first_error = first_error or payload
                 results.append(None)
             else:
+                status_by_shard.setdefault(shard_id, "ok")
                 results.append(payload)
-        if crashed:
-            raise ShardCrashedError(sorted(crashed))
+        bad = sorted(
+            s for s, st in status_by_shard.items() if st in ("crashed", "hung")
+        )
+        if bad:
+            if all(status_by_shard[s] == "hung" for s in bad):
+                exc = ShardHungError(bad, self.deadline_s)
+            else:
+                exc = ShardCrashedError(bad)
+            exc.partial_results = results
+            exc.shard_status = status_by_shard
+            raise exc
         if first_error is not None:
             raise first_error
         return results
+
+    # ------------------------------------------------------------- liveness
 
     def shard_alive(self, shard_id: int) -> bool:
         handle = self._handles[shard_id]
@@ -305,32 +682,84 @@ class ProcessBackend:
     def worker_pid(self, shard_id: int) -> int | None:
         return self._handles[shard_id].process.pid
 
-    def reopen_shard(self, shard_id: int) -> None:
-        """Recover a crashed shard: spawn a fresh worker re-attached to
-        the surviving shared-memory media and run normal recovery (undo
-        rollback + catalog scan + DAP rebuild) there."""
+    def heartbeat_age(self, shard_id: int) -> float:
+        """Seconds since the worker's last heartbeat stamp.  A SIGSTOP'd
+        or wedged worker's age grows without bound; a healthy one stays
+        around :data:`HEARTBEAT_INTERVAL_S`."""
         handle = self._handles[shard_id]
-        if not handle.crashed and handle.process.is_alive():
-            raise RuntimeError(
-                f"shard {shard_id} is alive; reopen is for crashed shards"
-            )
-        handle.conn.close()
-        handle.process.join()
-        self._spawn(handle, "attach")
-        self._await_ready(handle)
+        last = max(handle.heartbeat.value, handle.spawned_at)
+        return time.monotonic() - last
+
+    def kill_shard(self, shard_id: int, *, hung: bool = False) -> None:
+        """Forcibly end a worker: SIGTERM, bounded join, then SIGKILL.
+
+        Deliberately lock-free: killing closes the worker's pipe end,
+        which wakes any in-flight ``poll`` on this shard with EOF — a
+        hung worker never blocks an RPC past the watchdog.  SIGKILL also
+        reaps SIGSTOP'd workers (they ignore SIGTERM while stopped)."""
+        handle = self._handles[shard_id]
+        handle.hung = hung or handle.hung
+        handle.crashed = True
+        self.kills[shard_id] += 1
+        process = handle.process
+        if process is None or not process.is_alive():
+            self._join_bounded(process, self.kill_grace_s)
+            return
+        process.terminate()
+        process.join(self.kill_grace_s)
+        if process.is_alive():
+            process.kill()
+            process.join(self.kill_grace_s)
+
+    def reopen_shard(self, shard_id: int) -> None:
+        """Recover a crashed or hung shard: spawn a fresh worker
+        re-attached to the surviving shared-memory media and run normal
+        recovery (undo rollback + catalog scan + DAP rebuild) there.
+
+        Bounded: a still-running (hung) worker is killed first, every
+        join carries a timeout, and the fresh worker's readiness wait is
+        capped by ``boot_deadline_s``."""
+        handle = self._handles[shard_id]
+        with handle.lock:
+            if not handle.crashed and handle.process.is_alive():
+                raise RuntimeError(
+                    f"shard {shard_id} is alive; reopen is for crashed "
+                    "shards"
+                )
+            if handle.process is not None and handle.process.is_alive():
+                # Marked crashed/hung but the OS process survives (e.g. a
+                # SIGSTOP'd worker nobody killed yet): end it for real.
+                self.kill_shard(shard_id, hung=handle.hung)
+            handle.conn.close()
+            self._join_bounded(handle.process, self.kill_grace_s)
+            self._spawn(handle, "attach")
+            self._await_ready(handle)
+            self.reopens[shard_id] += 1
 
     def close(self) -> None:
+        """Shut every worker down with bounded grace: a polite
+        ``__shutdown__`` round first, then SIGTERM→SIGKILL for stragglers.
+        Teardown can never hang the parent."""
         for handle in self._handles:
             if handle.conn is None:
                 continue
-            if not handle.crashed and handle.process.is_alive():
-                try:
-                    handle.conn.send(("__shutdown__", (), None))
-                    handle.conn.recv()
-                except (EOFError, OSError, BrokenPipeError):
-                    pass
-            handle.conn.close()
-            handle.process.join()
+            with handle.lock:
+                if not handle.crashed and handle.process.is_alive():
+                    try:
+                        handle.conn.send(("__shutdown__", (), None))
+                        if handle.conn.poll(self.close_grace_s):
+                            handle.conn.recv()
+                    except (EOFError, OSError, BrokenPipeError):
+                        pass
+                handle.conn.close()
+            if handle.process is not None:
+                handle.process.join(self.close_grace_s)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(self.kill_grace_s)
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(self.kill_grace_s)
         for handle in self._handles:
             try:
                 handle.shm.close()
@@ -338,3 +767,7 @@ class ProcessBackend:
             except (BufferError, FileNotFoundError):
                 pass
         self._handles = []
+
+
+# Re-exported for callers that want to SIGSTOP a worker in drills.
+SIGSTOP = getattr(signal, "SIGSTOP", None)

@@ -16,6 +16,15 @@ media survives a worker crash exactly like real NVM survives power loss,
 and :meth:`Shard.build` re-attaches to it in ``"attach"`` mode to run
 normal recovery.
 
+With ``spec.maintenance`` set, the shard's scrubber/compactor — and a
+:class:`RetrainTicker` driving the engine's retrain policy — run
+*supervised inside the shard's own process* on the shared
+:class:`~repro.nvm.worker.MaintenanceWorker` loop: each worker process
+scrubs its own drift, compacts its own retirements and retrains its own
+model on its own cadence, with no facade broadcast required.  Foreground
+ops gate the loops (``pause_maintenance``/``resume_maintenance``), and
+per-worker loop state rolls up through :meth:`Shard.execute` telemetry.
+
 Every operation the facade fans out arrives through :meth:`Shard.execute`,
 a single string-keyed dispatch — the request/response pipe protocol of the
 process backend and the direct calls of the in-process backend stay
@@ -24,17 +33,33 @@ identical by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import E2NVMConfig
 from repro.core.kvstore import KVStore
 from repro.nvm.compactor import Compactor
 from repro.nvm.controller import MemoryController
-from repro.nvm.device import NVMDevice
+from repro.nvm.device import DriftConfig, NVMDevice, WearOutConfig
 from repro.nvm.scrubber import Scrubber
+from repro.nvm.worker import MaintenanceWorker
 from repro.pmem.catalog import PersistentCatalog
 from repro.pmem.pool import PersistentPool
 from repro.testing.faults import CrashError, FaultInjector
+
+
+class RetrainTicker(MaintenanceWorker):
+    """Background retrain cadence: one ``engine.maybe_retrain()`` per
+    round.  The policy decides FIRE/DEFER/SKIP; the ticker merely makes
+    sure the policy is consulted without any facade involvement (the
+    retrain itself runs on the engine's own single-flight worker and
+    never blocks the write path)."""
+
+    def __init__(self, engine, *, interval_s: float) -> None:
+        super().__init__(interval_s=interval_s, name="retrain-ticker")
+        self.engine = engine
+
+    def run_once(self) -> bool:
+        return self.engine.maybe_retrain()
 
 
 @dataclass(frozen=True)
@@ -42,7 +67,8 @@ class ShardSpec:
     """Everything needed to (re)build one shard in any process.
 
     Specs are pickled into worker processes and serialised (minus the
-    config object) into the store manifest, so every field is plain data.
+    config/wearout/drift objects) into the store manifest, so every field
+    is plain data.
 
     Attributes:
         shard_id: position of this shard in the facade's shard list.
@@ -59,8 +85,21 @@ class ShardSpec:
         config: engine hyperparameters (each shard trains its own model).
         path: device snapshot file (``.npz``) of a durable shard;
             ``None`` for volatile shards, which cannot be reopened.
-        scrubber: attach a (manually driven) scrubber to the store.
-        compactor: attach a (manually driven) compactor to the store.
+        scrubber: attach a scrubber to the store.
+        compactor: attach a compactor to the store.
+        maintenance: start the attached scrubber/compactor (and, when
+            ``retrain_interval_s > 0``, a :class:`RetrainTicker`) on
+            their own background cadence inside the shard's process,
+            instead of leaving them manually driven.
+        scrub_interval_s: sleep between in-shard scrub rounds.
+        compact_interval_s: sleep between in-shard compaction rounds.
+        retrain_interval_s: sleep between retrain-policy consultations
+            (``0`` disables the ticker).
+        wearout: optional endurance model for the shard's device.  Like
+            ``config``, travels in code rather than the manifest —
+            ``NVMDevice.load`` restores wear state from the snapshot on
+            reopen.
+        drift: optional retention-drift model, same manifest rules.
     """
 
     shard_id: int
@@ -74,15 +113,23 @@ class ShardSpec:
     path: str | None = None
     scrubber: bool = False
     compactor: bool = False
+    maintenance: bool = False
+    scrub_interval_s: float = 0.05
+    compact_interval_s: float = 0.1
+    retrain_interval_s: float = 0.0
+    wearout: WearOutConfig | None = None
+    drift: DriftConfig | None = None
 
     @property
     def capacity_bytes(self) -> int:
         return self.n_segments * self.segment_size
 
     def manifest_entry(self) -> dict:
-        """The JSON-serialisable slice of this spec (the config travels in
-        code, not in the manifest — it is a constructor argument on open,
-        exactly like ``KVStore.open``'s)."""
+        """The JSON-serialisable slice of this spec (the config and the
+        wearout/drift models travel in code, not in the manifest — they
+        are constructor arguments on open, exactly like
+        ``KVStore.open``'s config; device snapshots carry the wear/drift
+        *state* themselves)."""
         return {
             "shard_id": self.shard_id,
             "segment_size": self.segment_size,
@@ -94,6 +141,10 @@ class ShardSpec:
             "path": self.path,
             "scrubber": self.scrubber,
             "compactor": self.compactor,
+            "maintenance": self.maintenance,
+            "scrub_interval_s": self.scrub_interval_s,
+            "compact_interval_s": self.compact_interval_s,
+            "retrain_interval_s": self.retrain_interval_s,
         }
 
 
@@ -113,6 +164,9 @@ class Shard:
         self.pool = pool
         self.engine = store.engine
         self.faults: FaultInjector | None = None
+        #: Background maintenance loops owned by this shard (scrubber,
+        #: compactor, retrain ticker) in start order.
+        self.maintenance_workers: list[MaintenanceWorker] = []
 
     # -------------------------------------------------------------- building
 
@@ -156,12 +210,33 @@ class Shard:
                     f"says {spec.capacity_bytes}/{spec.segment_size}"
                 )
         else:
+            wearout, drift = spec.wearout, spec.drift
+            if spec.durable and (wearout is not None or drift is not None):
+                # The undo log and catalog model over-provisioned metadata
+                # media: a worn-out or drifted log record would (correctly)
+                # be refused at recovery, so unless the caller chose a
+                # prefix themselves the reserved region is made immortal —
+                # the same default the crash-sweep harness applies.
+                prefix = spec.log_segments + PersistentCatalog.meta_segments_for(
+                    spec.n_segments,
+                    spec.log_segments,
+                    spec.segment_size,
+                    spec.key_capacity,
+                )
+                if wearout is not None and wearout.immortal_prefix_segments == 0:
+                    wearout = replace(
+                        wearout, immortal_prefix_segments=prefix
+                    )
+                if drift is not None and drift.immortal_prefix_segments == 0:
+                    drift = replace(drift, immortal_prefix_segments=prefix)
             device = NVMDevice(
                 capacity_bytes=spec.capacity_bytes,
                 segment_size=spec.segment_size,
                 initial_fill="keep" if mode == "attach" else "random",
                 seed=spec.seed,
                 content_buffer=content_buffer,
+                wearout=wearout,
+                drift=drift,
             )
         if not spec.durable:
             from repro.core.e2nvm import E2NVM
@@ -169,7 +244,14 @@ class Shard:
             engine = E2NVM(MemoryController(device), spec.config)
             engine.train()
             store = KVStore(engine)
-            return cls(spec, store, device, pool=None)
+            shard = cls(spec, store, device, pool=None)
+            if spec.maintenance and spec.retrain_interval_s > 0:
+                shard.maintenance_workers.append(
+                    RetrainTicker(engine, interval_s=spec.retrain_interval_s)
+                )
+            if spec.maintenance:
+                shard.start_maintenance()
+            return shard
 
         pool = PersistentPool(
             MemoryController(device),
@@ -191,10 +273,54 @@ class Shard:
             )
         shard = cls(spec, store, device, pool=pool)
         if spec.scrubber:
-            Scrubber(store, segments_per_round=spec.n_segments)
+            shard.maintenance_workers.append(
+                Scrubber(
+                    store,
+                    segments_per_round=spec.n_segments,
+                    interval_s=spec.scrub_interval_s,
+                )
+            )
         if spec.compactor:
-            Compactor(store)
+            shard.maintenance_workers.append(
+                Compactor(store, interval_s=spec.compact_interval_s)
+            )
+        if spec.maintenance and spec.retrain_interval_s > 0:
+            shard.maintenance_workers.append(
+                RetrainTicker(
+                    shard.engine, interval_s=spec.retrain_interval_s
+                )
+            )
+        if spec.maintenance:
+            shard.start_maintenance()
         return shard
+
+    # -------------------------------------------------------- maintenance
+
+    def start_maintenance(self) -> int:
+        """Start every attached maintenance loop (idempotent per worker);
+        returns how many are running."""
+        for worker in self.maintenance_workers:
+            worker.start()
+        return sum(w.running for w in self.maintenance_workers)
+
+    def stop_maintenance(self, timeout: float | None = 5.0) -> None:
+        """Stop and join every maintenance loop (bounded joins)."""
+        for worker in self.maintenance_workers:
+            worker.stop(timeout)
+
+    def pause_maintenance(self) -> None:
+        """Gate the loops around a foreground op: no *new* round starts
+        until :meth:`resume_maintenance` (an in-flight bounded round may
+        complete — rounds are budgeted precisely so this is cheap)."""
+        for worker in self.maintenance_workers:
+            worker.pause()
+
+    def resume_maintenance(self) -> None:
+        for worker in self.maintenance_workers:
+            worker.resume()
+
+    def maintenance_info(self) -> list[dict]:
+        return [w.info() for w in self.maintenance_workers]
 
     # ------------------------------------------------------------ dispatch
 
@@ -258,6 +384,37 @@ class Shard:
 
     def _op_model_epoch(self) -> int:
         return self.engine._model_epoch
+
+    def _op_age(self, cycles: int) -> int:
+        """Accelerated media aging on this shard's device (chaos/lifetime
+        drills); returns newly dead cells."""
+        return self.device.age(cycles)
+
+    def _op_advance_time(self, ticks: int) -> int:
+        """Advance this shard's retention clock (drift model); returns
+        newly drifted cells."""
+        return self.device.advance_time(ticks)
+
+    def _op_scrub_round(self) -> dict:
+        """One synchronous scrub round (manual drive / tests)."""
+        if self.store.scrubber is None:
+            raise RuntimeError("shard has no scrubber attached")
+        return self.store.scrubber.scrub_round()
+
+    def _op_start_maintenance(self) -> int:
+        return self.start_maintenance()
+
+    def _op_stop_maintenance(self, timeout: float | None = 5.0) -> None:
+        self.stop_maintenance(timeout)
+
+    def _op_pause_maintenance(self) -> None:
+        self.pause_maintenance()
+
+    def _op_resume_maintenance(self) -> None:
+        self.resume_maintenance()
+
+    def _op_maintenance_info(self) -> list[dict]:
+        return self.maintenance_info()
 
     def _op_arm_crash(
         self, site: str, after: int = 0, torn_fraction: float | None = None
@@ -325,4 +482,6 @@ class Shard:
             out["scrub"] = self.store.scrubber.telemetry()
         if self.store.compactor is not None:
             out["compaction"] = self.store.compactor.telemetry()
+        if self.maintenance_workers:
+            out["maintenance"] = self.maintenance_info()
         return out

@@ -16,6 +16,22 @@ surface as a single :class:`~repro.core.kvstore.KVStore`:
   counters sum, latencies are re-derived from summed ``(seconds, count)``
   pairs (weighted by count — never an average of per-shard means).
 
+Shard faults degrade per policy instead of poisoning the whole facade.
+``degraded`` picks what happens when a shard is unavailable (crashed,
+hung, or breaker-open — see :mod:`repro.sharding.supervisor`):
+
+- ``"fail_fast"`` (default, PR-8 behaviour): raise immediately; batch
+  survivors' results still ride on the exception (``partial_results``).
+- ``"partial"``: ``put_many``/``get_many`` return a :class:`BatchReport`
+  — a list of results with an explicit per-key ``outcomes`` report
+  (``"ok"`` / ``"crashed"`` / ``"hung"`` / ``"breaker_open"``) — so
+  survivors' committed work is *used*, not discarded.  Reads routed at a
+  breaker-open shard are answered as misses without touching it.
+- ``"block"``: unavailable sub-batches are retried as the supervisor
+  heals shards, bounded by ``block_timeout_s`` (PUT is an idempotent
+  upsert, so retrying a failed sub-batch is safe); on timeout the
+  residual failure raises.
+
 Durable stores live in a directory: one device snapshot per shard plus a
 JSON manifest recording the shard count, ring parameters and per-shard
 geometry/paths, so ``open()`` rebuilds the identical ring (same routing)
@@ -25,12 +41,19 @@ and recovers shard by shard — in parallel under the process backend.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 from repro.core.config import E2NVMConfig
-from repro.sharding.backends import InProcessBackend, ProcessBackend
+from repro.sharding.backends import (
+    InProcessBackend,
+    ProcessBackend,
+    ShardUnavailableError,
+)
 from repro.sharding.ring import HashRing
 from repro.sharding.shard import ShardSpec
+
+DEGRADED_MODES = ("fail_fast", "partial", "block")
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
@@ -148,12 +171,51 @@ def aggregate_telemetry(shard_telemetries: list[dict]) -> dict:
     return out
 
 
-def _make_backend(specs: list[ShardSpec], mode: str, backend: str, start_method):
+def _make_backend(
+    specs: list[ShardSpec],
+    mode: str,
+    backend: str,
+    start_method,
+    deadline_s: float | None,
+    op_deadlines: dict | None,
+):
     if backend == "inprocess":
+        # Deadlines are an RPC concept; in-process calls run on the
+        # caller's thread and cannot be usefully timed out.
         return InProcessBackend(specs, mode)
     if backend == "process":
-        return ProcessBackend(specs, mode, start_method=start_method)
+        kwargs: dict = {"start_method": start_method}
+        if deadline_s is not None:
+            kwargs["deadline_s"] = deadline_s
+        if op_deadlines is not None:
+            kwargs["op_deadlines"] = op_deadlines
+        return ProcessBackend(specs, mode, **kwargs)
     raise ValueError(f"unknown backend {backend!r}")
+
+
+class BatchReport(list):
+    """Result of a degraded-mode batch op: a plain list of per-item
+    results (``== [...]`` with a list still holds) plus an explicit
+    per-item outcome report.
+
+    ``outcomes[i]`` is ``"ok"`` when ``self[i]`` is a real result, else
+    the reason that item's shard did not answer: ``"crashed"``,
+    ``"hung"``, ``"breaker_open"`` or ``"error"``.  Failed items hold
+    ``None`` — for GET indistinguishable from a miss by value, which is
+    exactly why the outcome report exists."""
+
+    def __init__(self, results, outcomes: list[str]) -> None:
+        super().__init__(results)
+        self.outcomes = outcomes
+
+    @property
+    def ok(self) -> bool:
+        """Every item answered by a live shard."""
+        return all(o == "ok" for o in self.outcomes)
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [i for i, o in enumerate(self.outcomes) if o != "ok"]
 
 
 class ShardedKVStore:
@@ -173,13 +235,31 @@ class ShardedKVStore:
         specs: list[ShardSpec],
         root: Path | None = None,
         backend_name: str = "inprocess",
+        degraded: str = "fail_fast",
+        block_timeout_s: float = 30.0,
     ) -> None:
+        if degraded not in DEGRADED_MODES:
+            raise ValueError(
+                f"unknown degraded mode {degraded!r}; pick from "
+                f"{DEGRADED_MODES}"
+            )
         self.backend = backend
         self.ring = ring
         self.specs = list(specs)
         self.root = root
         self.backend_name = backend_name
+        self.degraded = degraded
+        self.block_timeout_s = block_timeout_s
+        #: Attached :class:`~repro.sharding.supervisor.ShardSupervisor`
+        #: (degraded routing consults its breakers; ``None`` = none).
+        self.supervisor = None
         self._closed = False
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Register a :class:`ShardSupervisor` (called by its
+        constructor) so degraded-mode routing can skip breaker-open
+        shards and ``block`` mode can wait on healing."""
+        self.supervisor = supervisor
 
     # ----------------------------------------------------------- construction
 
@@ -197,6 +277,12 @@ class ShardedKVStore:
         root: Path | None,
         scrubber: bool,
         compactor: bool,
+        maintenance: bool = False,
+        scrub_interval_s: float = 0.05,
+        compact_interval_s: float = 0.1,
+        retrain_interval_s: float = 0.0,
+        wearout=None,
+        drift=None,
     ) -> list[ShardSpec]:
         specs = []
         for shard_id in range(n_shards):
@@ -220,6 +306,12 @@ class ShardedKVStore:
                     ),
                     scrubber=scrubber,
                     compactor=compactor,
+                    maintenance=maintenance,
+                    scrub_interval_s=scrub_interval_s,
+                    compact_interval_s=compact_interval_s,
+                    retrain_interval_s=retrain_interval_s,
+                    wearout=wearout,
+                    drift=drift,
                 )
             )
         return specs
@@ -242,6 +334,16 @@ class ShardedKVStore:
         compactor: bool = False,
         base_seed: int = 7,
         start_method: str | None = None,
+        maintenance: bool = False,
+        scrub_interval_s: float = 0.05,
+        compact_interval_s: float = 0.1,
+        retrain_interval_s: float = 0.0,
+        wearout=None,
+        drift=None,
+        degraded: str = "fail_fast",
+        block_timeout_s: float = 30.0,
+        deadline_s: float | None = None,
+        op_deadlines: dict | None = None,
     ) -> "ShardedKVStore":
         """Create a durable sharded store under directory ``root``.
 
@@ -264,13 +366,23 @@ class ShardedKVStore:
             root=root,
             scrubber=scrubber,
             compactor=compactor,
+            maintenance=maintenance,
+            scrub_interval_s=scrub_interval_s,
+            compact_interval_s=compact_interval_s,
+            retrain_interval_s=retrain_interval_s,
+            wearout=wearout,
+            drift=drift,
         )
         store = cls(
-            _make_backend(specs, "create", backend, start_method),
+            _make_backend(
+                specs, "create", backend, start_method, deadline_s, op_deadlines
+            ),
             ring,
             specs,
             root=root,
             backend_name=backend,
+            degraded=degraded,
+            block_timeout_s=block_timeout_s,
         )
         store._write_manifest()
         return store
@@ -288,6 +400,12 @@ class ShardedKVStore:
         vnodes: int = 128,
         base_seed: int = 7,
         start_method: str | None = None,
+        maintenance: bool = False,
+        retrain_interval_s: float = 0.0,
+        degraded: str = "fail_fast",
+        block_timeout_s: float = 30.0,
+        deadline_s: float | None = None,
+        op_deadlines: dict | None = None,
     ) -> "ShardedKVStore":
         """Create a volatile sharded store (no pool/catalog, no manifest) —
         the benchmark configuration."""
@@ -304,13 +422,19 @@ class ShardedKVStore:
             root=None,
             scrubber=False,
             compactor=False,
+            maintenance=maintenance,
+            retrain_interval_s=retrain_interval_s,
         )
         return cls(
-            _make_backend(specs, "create", backend, start_method),
+            _make_backend(
+                specs, "create", backend, start_method, deadline_s, op_deadlines
+            ),
             ring,
             specs,
             root=None,
             backend_name=backend,
+            degraded=degraded,
+            block_timeout_s=block_timeout_s,
         )
 
     @classmethod
@@ -321,6 +445,13 @@ class ShardedKVStore:
         config: E2NVMConfig | None = None,
         backend: str | None = None,
         start_method: str | None = None,
+        maintenance: bool | None = None,
+        wearout=None,
+        drift=None,
+        degraded: str = "fail_fast",
+        block_timeout_s: float = 30.0,
+        deadline_s: float | None = None,
+        op_deadlines: dict | None = None,
     ) -> "ShardedKVStore":
         """Reopen the store at ``root`` from its manifest: identical ring
         (same routing for every key) and full per-shard recovery — undo
@@ -329,8 +460,10 @@ class ShardedKVStore:
 
         ``backend`` overrides the manifest's backend (a store created
         in-process can reopen under workers and vice versa); ``config``
-        applies to every shard, like ``KVStore.open``'s config argument.
-        """
+        applies to every shard, like ``KVStore.open``'s config argument —
+        as do ``wearout``/``drift``, whose *state* rides in the device
+        snapshots.  ``maintenance`` overrides the manifest's flag
+        (``None`` keeps it)."""
         root = Path(root)
         manifest = json.loads((root / MANIFEST_NAME).read_text())
         if manifest.get("version") != MANIFEST_VERSION:
@@ -341,7 +474,13 @@ class ShardedKVStore:
         specs = [
             ShardSpec(
                 config=config if config is not None else E2NVMConfig(),
-                **entry,
+                wearout=wearout,
+                drift=drift,
+                **(
+                    entry
+                    if maintenance is None
+                    else {**entry, "maintenance": maintenance}
+                ),
             )
             for entry in manifest["shards"]
         ]
@@ -352,11 +491,16 @@ class ShardedKVStore:
             )
         backend_name = backend or manifest.get("backend", "inprocess")
         return cls(
-            _make_backend(specs, "open", backend_name, start_method),
+            _make_backend(
+                specs, "open", backend_name, start_method, deadline_s,
+                op_deadlines,
+            ),
             ring,
             specs,
             root=root,
             backend_name=backend_name,
+            degraded=degraded,
+            block_timeout_s=block_timeout_s,
         )
 
     def _write_manifest(self) -> None:
@@ -381,45 +525,158 @@ class ShardedKVStore:
         """The shard that owns ``key`` (exposed for tests and tooling)."""
         return self.ring.shard_of(key)
 
+    def _breaker_open(self, shard_id: int) -> bool:
+        return self.supervisor is not None and self.supervisor.breaker_open(
+            shard_id
+        )
+
+    def _point_call(self, shard_id: int, op: str, args: tuple):
+        """Point-op routing under the degraded policy.
+
+        ``partial`` answers a GET routed at a breaker-open shard as a
+        miss (the documented lie of that policy — the outcome report of
+        the batch path is how callers see the difference); any *write*
+        at an open breaker raises, never silently drops.  ``block``
+        retries through supervisor healing until ``block_timeout_s``.
+        """
+        from repro.sharding.supervisor import ShardCircuitOpenError
+
+        if self.degraded != "block":
+            if self._breaker_open(shard_id):
+                if self.degraded == "partial" and op == "get":
+                    return None
+                raise ShardCircuitOpenError([shard_id])
+            return self.backend.call(shard_id, op, args)
+        deadline = time.monotonic() + self.block_timeout_s
+        while True:
+            if self._breaker_open(shard_id):
+                last_exc: ShardUnavailableError = ShardCircuitOpenError(
+                    [shard_id]
+                )
+            else:
+                try:
+                    return self.backend.call(shard_id, op, args)
+                except ShardUnavailableError as exc:
+                    last_exc = exc
+            if time.monotonic() >= deadline:
+                raise last_exc
+            if self.supervisor is not None:
+                self.supervisor.run_once()
+            time.sleep(0.02)
+
     def put(self, key: bytes, value: bytes) -> int:
-        return self.backend.call(self.ring.shard_of(key), "put", (key, value))
+        return self._point_call(self.ring.shard_of(key), "put", (key, value))
 
     def get(self, key: bytes) -> bytes | None:
-        return self.backend.call(self.ring.shard_of(key), "get", (key,))
+        return self._point_call(self.ring.shard_of(key), "get", (key,))
 
     def delete(self, key: bytes) -> bool:
-        return self.backend.call(self.ring.shard_of(key), "delete", (key,))
+        return self._point_call(self.ring.shard_of(key), "delete", (key,))
+
+    def _fan_out(
+        self, op: str, groups: dict[int, list[int]], payload_of, n_items: int
+    ) -> BatchReport:
+        """Scatter one ``op`` sub-batch per shard and gather per the
+        degraded policy.
+
+        ``fail_fast`` raises on the first unavailable shard (survivors'
+        results ride on the exception).  ``partial`` makes one pass:
+        breaker-open shards are skipped outright, unavailable shards'
+        items get ``None`` + an outcome tag.  ``block`` keeps retrying
+        failed sub-batches — driving supervisor rounds inline so healing
+        does not wait on the background cadence — until everything
+        answers or ``block_timeout_s`` expires.  PUT sub-batches are
+        idempotent upserts, so a retry after an ambiguous failure (shard
+        died mid-batch) is safe: re-putting a committed key overwrites
+        it with the same value.
+        """
+        from repro.sharding.supervisor import ShardCircuitOpenError
+
+        out: list = [None] * n_items
+        outcomes = ["ok"] * n_items
+        mode = self.degraded
+        pending = sorted(groups)
+        deadline = time.monotonic() + self.block_timeout_s
+        while pending:
+            open_now = {s for s in pending if self._breaker_open(s)}
+            if open_now:
+                if mode == "fail_fast":
+                    raise ShardCircuitOpenError(sorted(open_now))
+                for s in open_now:
+                    for i in groups[s]:
+                        outcomes[i] = "breaker_open"
+                if mode == "partial":
+                    pending = [s for s in pending if s not in open_now]
+                    open_now = set()
+            run_now = [s for s in pending if s not in open_now]
+            statuses: dict[int, str] = {}
+            results: dict[int, list] = {}
+            if run_now:
+                requests = [(s, op, (payload_of(s),), None) for s in run_now]
+                try:
+                    per_shard = self.backend.call_many(requests)
+                except ShardUnavailableError as exc:
+                    if mode == "fail_fast":
+                        raise
+                    statuses = dict(exc.shard_status or {})
+                    partial = exc.partial_results or [None] * len(run_now)
+                    results = dict(zip(run_now, partial))
+                else:
+                    statuses = {s: "ok" for s in run_now}
+                    results = dict(zip(run_now, per_shard))
+            still_failed = []
+            for s in run_now:
+                if statuses.get(s) == "ok" and results.get(s) is not None:
+                    for i, r in zip(groups[s], results[s]):
+                        out[i] = r
+                        outcomes[i] = "ok"
+                else:
+                    still_failed.append(s)
+                    for i in groups[s]:
+                        outcomes[i] = statuses.get(s, "error")
+            if mode != "block":
+                break
+            pending = still_failed + sorted(open_now)
+            if not pending:
+                break
+            if time.monotonic() >= deadline:
+                exc = ShardUnavailableError(
+                    sorted(pending),
+                    f"shard(s) {sorted(pending)} still unavailable after "
+                    f"block_timeout_s={self.block_timeout_s}s",
+                )
+                exc.partial_results = list(out)
+                exc.shard_status = {
+                    s: outcomes[groups[s][0]] for s in pending
+                }
+                raise exc
+            if self.supervisor is not None:
+                self.supervisor.run_once()
+            time.sleep(0.02)
+        return BatchReport(out, outcomes)
 
     def put_many(self, items: list[tuple[bytes, bytes]]) -> list[int]:
         """Batched PUT: partition by shard, one ``put_many`` engine call
         per shard (batched inference preserved inside each), results
-        scattered back to input order."""
+        scattered back to input order.  Returns a :class:`BatchReport`
+        (a list of addresses; under ``partial``/``block`` degraded modes
+        its ``outcomes`` tell which items a downed shard dropped)."""
         groups = self.ring.partition([key for key, _ in items])
-        order = sorted(groups)
-        requests = [
-            (shard_id, "put_many", ([items[i] for i in groups[shard_id]],), None)
-            for shard_id in order
-        ]
-        per_shard = self.backend.call_many(requests)
-        out: list[int | None] = [None] * len(items)
-        for shard_id, addrs in zip(order, per_shard):
-            for i, addr in zip(groups[shard_id], addrs):
-                out[i] = addr
-        return out
+        return self._fan_out(
+            "put_many",
+            groups,
+            lambda s: [items[i] for i in groups[s]],
+            len(items),
+        )
 
     def get_many(self, keys: list[bytes]) -> list[bytes | None]:
         groups = self.ring.partition(keys)
-        order = sorted(groups)
-        requests = [
-            (shard_id, "get_many", ([keys[i] for i in groups[shard_id]],), None)
-            for shard_id in order
-        ]
-        per_shard = self.backend.call_many(requests)
-        out: list[bytes | None] = [None] * len(keys)
-        for shard_id, values in zip(order, per_shard):
-            for i, value in zip(groups[shard_id], values):
-                out[i] = value
-        return out
+        return self._fan_out(
+            "get_many",
+            groups,
+            lambda s: [keys[i] for i in groups[s]],
+            len(keys),
+        )
 
     def __len__(self) -> int:
         return sum(
@@ -464,6 +721,56 @@ class ShardedKVStore:
             [(s, "model_epoch", (), None) for s in range(self.n_shards)]
         )
 
+    def advance_time(self, ticks: int = 1) -> list[int]:
+        """Advance every shard's retention clock (drift model) by
+        ``ticks``; returns newly drifted cells per shard."""
+        return self.backend.call_many(
+            [(s, "advance_time", (ticks,), None) for s in range(self.n_shards)]
+        )
+
+    def age(self, cycles: int = 1) -> list[int]:
+        """Accelerated media aging (wearout model) on every shard;
+        returns newly dead cells per shard."""
+        return self.backend.call_many(
+            [(s, "age", (cycles,), None) for s in range(self.n_shards)]
+        )
+
+    # ------------------------------------------------------------- maintenance
+
+    def start_maintenance(self) -> list[int]:
+        """Start each shard's in-worker maintenance loops (scrubber,
+        compactor, retrain ticker — whatever the spec attached); returns
+        per-shard running counts."""
+        return self.backend.call_many(
+            [(s, "start_maintenance", (), None) for s in range(self.n_shards)]
+        )
+
+    def stop_maintenance(self, timeout: float | None = 5.0) -> list:
+        return self.backend.call_many(
+            [
+                (s, "stop_maintenance", (timeout,), None)
+                for s in range(self.n_shards)
+            ]
+        )
+
+    def pause_maintenance(self) -> list:
+        return self.backend.call_many(
+            [(s, "pause_maintenance", (), None) for s in range(self.n_shards)]
+        )
+
+    def resume_maintenance(self) -> list:
+        return self.backend.call_many(
+            [(s, "resume_maintenance", (), None) for s in range(self.n_shards)]
+        )
+
+    def maintenance_info(self) -> list[list[dict]]:
+        """Per-shard maintenance-loop snapshots (name, running, paused,
+        rounds completed, last error) — the facade-level rollup of each
+        worker process's background cadence."""
+        return self.backend.call_many(
+            [(s, "maintenance_info", (), None) for s in range(self.n_shards)]
+        )
+
     def drain_relocations(self, budget: int | None = None) -> int:
         return sum(
             self.backend.call_many(
@@ -478,12 +785,17 @@ class ShardedKVStore:
 
     def telemetry(self) -> dict:
         """Aggregated telemetry across all shards (see
-        :func:`aggregate_telemetry` for the rollup semantics)."""
-        return aggregate_telemetry(
+        :func:`aggregate_telemetry` for the rollup semantics); with a
+        supervisor attached, its restart/breaker/recovery counters ride
+        along under ``"supervisor"``."""
+        out = aggregate_telemetry(
             self.backend.call_many(
                 [(s, "telemetry", (), None) for s in range(self.n_shards)]
             )
         )
+        if self.supervisor is not None:
+            out["supervisor"] = self.supervisor.telemetry()
+        return out
 
     def placement_telemetry(self) -> dict:
         """Aggregated fast-placement telemetry, shaped like a single
@@ -514,22 +826,42 @@ class ShardedKVStore:
     def shard_alive(self, shard_id: int) -> bool:
         return self.backend.shard_alive(shard_id)
 
-    def save(self) -> None:
-        """Snapshot every durable shard's device to its manifest path."""
+    def save(self, *, deadline: float | None = ...) -> None:
+        """Snapshot every durable shard's device to its manifest path.
+        ``deadline`` overrides the per-op RPC budget (process backend)."""
         if self.root is None:
             raise ValueError("volatile sharded store has no snapshot paths")
         self.backend.call_many(
-            [(s, "save", (), None) for s in range(self.n_shards)]
+            [(s, "save", (), None) for s in range(self.n_shards)],
+            deadline=deadline,
         )
 
     def close(self) -> None:
         """Snapshot durable shards, then shut the backend down (worker
-        processes joined, shared memory released)."""
+        processes joined, shared memory released).
+
+        The snapshot is best-effort: a shard that is dead or hung at
+        close time cannot be saved — survivors still snapshot (the
+        backend drains them before raising), and the missing shard's
+        story is the recovery path on the next ``open``.  The wait per
+        shard is bounded by the backend's close grace, not the full op
+        budget, so a SIGSTOP'd worker cannot stall teardown."""
         if self._closed:
             return
+        # The supervisor must stop before teardown begins, or it would
+        # fight close() by reopening the very workers being shut down.
+        if self.supervisor is not None:
+            self.supervisor.stop()
         try:
             if self.root is not None:
-                self.save()
+                grace = getattr(self.backend, "close_grace_s", None)
+                try:
+                    if grace is None:
+                        self.save()
+                    else:
+                        self.save(deadline=grace)
+                except ShardUnavailableError:
+                    pass  # dead/hung shards can't snapshot; recovery covers them
         finally:
             self.backend.close()
             self._closed = True

@@ -8,6 +8,10 @@
   harness: replays a seeded workload crashing at every fired fault site
   (including torn writes), re-opens the store from the media, and checks
   the full durability contract after each crash.
+- :mod:`repro.testing.chaos` — the sharded-store chaos drill: random
+  kill/SIGSTOP/crash faults against live worker processes mid-batch
+  while aging and drift advance, asserting supervised convergence to
+  all-shards-healthy with zero lost acknowledged writes and clean fsck.
 """
 
 from repro.testing.faults import (
@@ -43,12 +47,23 @@ _CRASH_SWEEP_NAMES = frozenset(
     }
 )
 
+# chaos sits above the sharded store (facade + supervisor) and resolves
+# lazily for the same cycle-avoidance reason.
+_CHAOS_NAMES = frozenset(
+    {
+        "ChaosReport",
+        "FAULT_KINDS",
+        "run_chaos_drill",
+    }
+)
+
 __all__ = [
     "CrashError",
     "FaultError",
     "FaultInjector",
     "FaultRule",
     *sorted(_CRASH_SWEEP_NAMES),
+    *sorted(_CHAOS_NAMES),
 ]
 
 
@@ -57,4 +72,8 @@ def __getattr__(name: str):
         from repro.testing import crash_sweep
 
         return getattr(crash_sweep, name)
+    if name in _CHAOS_NAMES:
+        from repro.testing import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

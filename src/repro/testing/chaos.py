@@ -1,0 +1,324 @@
+"""Chaos drill for the supervised sharded store.
+
+The crash sweep (:mod:`repro.testing.crash_sweep`) proves *one* shard
+recovers from *one* crash at *every* fault site.  The chaos drill attacks
+the other axis: many faults of different species, landing on random
+shards, **while the store is serving writes and the media keeps aging** —
+and asserts the system converges back to all-shards-healthy with nothing
+acknowledged lost.
+
+One drill round:
+
+1. pick a random live shard and a fault species —
+
+   - ``"kill"``: SIGKILL the worker mid-``put_many`` (a timer fires the
+     signal while the batch is in flight) — power loss on one channel;
+   - ``"stop"``: SIGSTOP the worker — a wedged controller that stops
+     heartbeating but holds its pipe open; only the watchdog can tell;
+   - ``"crash"``: arm a :class:`~repro.testing.faults.CrashError` at
+     ``tx.write`` so the *next* write to that shard dies inside the
+     transaction (``os._exit``, no response, no cleanup);
+
+2. issue a ``put_many`` batch spanning every shard under the ``partial``
+   degraded policy and record, per key, what the outcome report admits:
+   an ``"ok"`` item is **acknowledged** (its value must survive, full
+   stop); a failed item may have committed or not (the shard died
+   mid-batch), so either the old or the new value is acceptable;
+3. advance the wearout and drift clocks (the in-worker scrubber heals
+   drift on its own cadence while all this is going on);
+4. let the :class:`~repro.sharding.supervisor.ShardSupervisor` converge
+   the fleet back to healthy and verify every acknowledged write reads
+   back.
+
+After the last round the drill closes the store and runs
+:func:`repro.tools.fsck.fsck` over every shard snapshot — recovery that
+leaves the media inconsistent must not pass.
+
+The harness is a library (the chaos tests and ``bench_chaos.py`` both
+drive it) and is deliberately seeded: a failing round is reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import E2NVMConfig, fast_test_config
+from repro.nvm.device import DriftConfig, WearOutConfig
+from repro.sharding import ShardedKVStore, ShardSupervisor
+from repro.sharding.backends import ShardUnavailableError
+from repro.tools.fsck import fsck
+
+#: Fault species the drill draws from (uniformly, seeded).
+FAULT_KINDS = ("kill", "stop", "crash")
+
+
+@dataclass
+class ChaosReport:
+    """Everything a drill asserts on (and the benchmark reports)."""
+
+    rounds: int
+    faults: dict = field(default_factory=dict)
+    #: Items acknowledged ok / total items attempted, per round.
+    acked_items: int = 0
+    total_items: int = 0
+    #: Acknowledged keys whose final read did not return the acked value.
+    lost_writes: list = field(default_factory=list)
+    #: Unacknowledged keys whose final read returned neither the old nor
+    #: the new candidate value (torn/corrupt — never acceptable).
+    corrupt_keys: list = field(default_factory=list)
+    all_healthy: bool = False
+    fsck_ok: bool = False
+    fsck_errors: list = field(default_factory=list)
+    recovery_count: int = 0
+    recovery_time_mean_s: float = 0.0
+    recovery_time_max_s: float = 0.0
+    watchdog_kills: int = 0
+    restarts: int = 0
+    duration_s: float = 0.0
+    converge_s: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of attempted items acknowledged during the drill."""
+        return self.acked_items / self.total_items if self.total_items else 1.0
+
+    @property
+    def ok(self) -> bool:
+        """The drill's contract: converged healthy, zero lost acknowledged
+        writes, no torn values, clean fsck on every shard."""
+        return (
+            self.all_healthy
+            and not self.lost_writes
+            and not self.corrupt_keys
+            and self.fsck_ok
+        )
+
+    def summary(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "faults": dict(self.faults),
+            "availability": self.availability,
+            "acked_items": self.acked_items,
+            "total_items": self.total_items,
+            "lost_writes": len(self.lost_writes),
+            "corrupt_keys": len(self.corrupt_keys),
+            "all_healthy": self.all_healthy,
+            "fsck_ok": self.fsck_ok,
+            "recovery_count": self.recovery_count,
+            "recovery_time_mean_s": self.recovery_time_mean_s,
+            "recovery_time_max_s": self.recovery_time_max_s,
+            "watchdog_kills": self.watchdog_kills,
+            "restarts": self.restarts,
+            "duration_s": self.duration_s,
+            "converge_s": self.converge_s,
+            "ok": self.ok,
+        }
+
+
+def run_chaos_drill(
+    root: str | Path | None = None,
+    *,
+    n_shards: int = 3,
+    rounds: int = 6,
+    batch_size: int = 24,
+    key_space: int = 24,
+    seed: int = 0,
+    segment_size: int = 64,
+    n_segments_per_shard: int = 128,
+    log_segments: int = 4,
+    key_capacity: int = 32,
+    config: E2NVMConfig | None = None,
+    heartbeat_timeout_s: float = 0.5,
+    restart_budget: int = 5,
+    heal_timeout_s: float = 60.0,
+    age_cycles_per_round: int = 1,
+    drift_ticks_per_round: int = 2_000,
+    faults: tuple[str, ...] = FAULT_KINDS,
+) -> ChaosReport:
+    """Run one seeded chaos drill; see the module docstring for the plot.
+
+    Args:
+        root: store directory (a temp dir when ``None``; it is left on
+            disk only if the drill raises).
+        rounds: fault-injection rounds.
+        batch_size: items per ``put_many`` round (keys drawn from a
+            ``key_space``-sized pool, so later rounds overwrite — the
+            idempotent-upsert path retries depend on).
+        seed: drives every random choice (victim shard, fault kind, kill
+            timing, values) — a failure reproduces from its seed.
+        heal_timeout_s: per-round and final convergence budget.
+        faults: the fault species to draw from (subset of
+            :data:`FAULT_KINDS`).
+    """
+    for kind in faults:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+    rng = random.Random(seed)
+    owns_root = root is None
+    root = Path(root) if root is not None else Path(tempfile.mkdtemp())
+    report = ChaosReport(rounds=rounds, faults={k: 0 for k in faults})
+    t_start = time.monotonic()
+
+    store = ShardedKVStore.create(
+        root,
+        n_shards,
+        segment_size=segment_size,
+        n_segments_per_shard=n_segments_per_shard,
+        config=config if config is not None else fast_test_config(),
+        backend="process",
+        log_segments=log_segments,
+        key_capacity=key_capacity,
+        scrubber=True,
+        compactor=True,
+        maintenance=True,
+        retrain_interval_s=0.2,
+        wearout=WearOutConfig(endurance_mean=1e8, seed=seed),
+        drift=DriftConfig(retention_mean=50_000.0, seed=seed),
+        degraded="partial",
+        deadline_s=30.0,
+        base_seed=seed + 7,
+    )
+    supervisor = ShardSupervisor(
+        store,
+        interval_s=0.05,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        restart_budget=restart_budget,
+        stable_after_s=0.5,
+        auto_start=True,
+    )
+
+    #: key -> set of byte strings the final read may legally return.
+    #: Acknowledged puts collapse the set to {new value}.
+    acceptable: dict[bytes, set] = {}
+
+    def value_for(round_no: int, key_no: int) -> bytes:
+        return f"r{round_no}.k{key_no}.{rng.randrange(1 << 30)}".encode()
+
+    try:
+        for round_no in range(rounds):
+            victim = rng.randrange(n_shards)
+            kind = rng.choice(list(faults))
+            report.faults[kind] += 1
+            timer = None
+            if kind == "stop":
+                pid = store.backend.worker_pid(victim)
+                if pid is not None and store.shard_alive(victim):
+                    os.kill(pid, signal.SIGSTOP)
+            elif kind == "crash":
+                try:
+                    store.backend.call(victim, "arm_crash", ("tx.write",))
+                except ShardUnavailableError:
+                    pass  # already down; the round still writes
+            elif kind == "kill":
+                pid = store.backend.worker_pid(victim)
+                if pid is not None and store.shard_alive(victim):
+                    delay = rng.uniform(0.005, 0.05)
+                    timer = threading.Timer(
+                        delay, lambda p=pid: _kill_quietly(p)
+                    )
+                    timer.start()
+
+            key_nos = rng.sample(range(key_space), min(batch_size, key_space))
+            items = []
+            for key_no in key_nos:
+                key = f"key-{key_no:04d}".encode()
+                items.append((key, value_for(round_no, key_no)))
+            try:
+                batch = store.put_many(items)
+                outcomes = batch.outcomes
+            except ShardUnavailableError as exc:
+                # partial mode degrades unavailability, but an overlapping
+                # fault can still surface here (e.g. every shard down);
+                # nothing in this batch is acknowledged.
+                outcomes = ["error"] * len(items)
+            finally:
+                if timer is not None:
+                    timer.cancel()
+            report.total_items += len(items)
+            for (key, value), outcome in zip(items, outcomes):
+                if outcome == "ok":
+                    report.acked_items += 1
+                    acceptable[key] = {value}
+                else:
+                    # May or may not have committed before the fault; both
+                    # values are acceptable until a later acked overwrite.
+                    acceptable.setdefault(key, {None}).add(value)
+
+            # Media keeps aging while the fleet is degraded; dead shards
+            # just miss this tick (their clocks resume after reopen).
+            for broadcast in (
+                lambda: store.age(age_cycles_per_round),
+                lambda: store.advance_time(drift_ticks_per_round),
+            ):
+                try:
+                    broadcast()
+                except ShardUnavailableError:
+                    pass
+
+            if not supervisor.await_healthy(timeout=heal_timeout_s):
+                break  # report.all_healthy stays False
+
+        report.converge_s = time.monotonic() - t_start
+        report.all_healthy = supervisor.await_healthy(timeout=heal_timeout_s)
+
+        # Every acknowledged write must read back; unacknowledged writes
+        # must read back as one of their acceptable values.
+        keys = sorted(acceptable)
+        final = store.get_many(keys)
+        if not final.ok:
+            report.all_healthy = False
+        for key, value in zip(keys, final):
+            allowed = acceptable[key]
+            if value not in allowed:
+                if len(allowed) == 1:
+                    report.lost_writes.append(
+                        (key, next(iter(allowed)), value)
+                    )
+                else:
+                    report.corrupt_keys.append((key, value))
+
+        sup_tel = supervisor.telemetry()
+        report.recovery_count = sup_tel["recovery_count"]
+        report.recovery_time_mean_s = sup_tel["recovery_time_mean_s"]
+        report.recovery_time_max_s = sup_tel["recovery_time_max_s"]
+        report.watchdog_kills = sup_tel["watchdog_kills"]
+        report.restarts = sup_tel["restarts"]
+
+        store.close()
+        fsck_ok = True
+        for shard_id in range(n_shards):
+            result = fsck(
+                root / f"shard-{shard_id}.npz",
+                log_segments=log_segments,
+                key_capacity=key_capacity,
+            )
+            if not result.ok:
+                fsck_ok = False
+                report.fsck_errors.extend(
+                    f"shard {shard_id}: {err}" for err in result.errors
+                )
+        report.fsck_ok = fsck_ok
+        report.duration_s = time.monotonic() - t_start
+    finally:
+        supervisor.stop()
+        store.close()  # idempotent; covers the raise path
+        if owns_root and report.ok:
+            for path in root.glob("*"):
+                path.unlink()
+            root.rmdir()
+    return report
+
+
+def _kill_quietly(pid: int) -> None:
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):
+        pass

@@ -1,0 +1,305 @@
+"""Supervisor, circuit breaker and degraded-mode routing — tier-1.
+
+Everything here runs on the :class:`InProcessBackend`'s fault-simulation
+hooks (``inject_crash`` / ``inject_hang`` / ``inject_reopen_failures``):
+the supervisor is backend-agnostic by design — it only consumes
+``shard_alive`` / ``heartbeat_age`` / ``kill_shard`` / ``reopen_shard`` —
+so the whole watchdog → restart-budget → breaker → degraded-routing story
+is testable without spawning a single process.  Process-level fidelity
+(real SIGSTOP, real deadlines, real media) lives in
+``test_process_supervision.py`` under the ``sharding`` marker.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import fast_test_config
+from repro.sharding import (
+    BatchReport,
+    ShardCircuitOpenError,
+    ShardCrashedError,
+    ShardedKVStore,
+    ShardHungError,
+    ShardSupervisor,
+    ShardUnavailableError,
+)
+
+N_SHARDS = 3
+
+
+def _items(n, tag=b"v"):
+    return [(b"key-%04d" % i, tag + b"-%04d" % i) for i in range(n)]
+
+
+def _store(degraded="fail_fast", **kwargs):
+    return ShardedKVStore.create_volatile(
+        N_SHARDS,
+        segment_size=64,
+        n_segments_per_shard=64,
+        config=fast_test_config(),
+        degraded=degraded,
+        **kwargs,
+    )
+
+
+def _supervisor(store, **kwargs):
+    kwargs.setdefault("restart_budget", 3)
+    kwargs.setdefault("backoff_base_s", 0.0)
+    kwargs.setdefault("auto_start", False)
+    return ShardSupervisor(store, **kwargs)
+
+
+class TestSupervisorHealing:
+    def test_reopens_crashed_shard(self):
+        with _store() as store:
+            sup = _supervisor(store)
+            store.backend.inject_crash(1)
+            assert not store.shard_alive(1)
+            sup.run_once()
+            assert store.shard_alive(1)
+            assert sup.telemetry()["restarts"] == 1
+            assert sup.health[1].recovery_times_s
+
+    def test_watchdog_kills_hung_shard_by_heartbeat(self):
+        """A hung shard (stale heartbeat, still 'alive') is detected via
+        heartbeat age alone — no RPC involved — killed and restarted."""
+        with _store() as store:
+            sup = _supervisor(store, heartbeat_timeout_s=0.01)
+            store.backend.inject_hang(2)
+            time.sleep(0.02)
+            assert store.backend.heartbeat_age(2) > 0.01
+            sup.run_once()  # watchdog kill
+            sup.run_once()  # reopen
+            assert store.shard_alive(2)
+            tel = sup.telemetry()
+            assert tel["watchdog_kills"] == 1
+            assert tel["restarts"] == 1
+            assert store.backend.kills[2] == 1
+
+    def test_stability_resets_episode_budget(self):
+        with _store() as store:
+            sup = _supervisor(store, stable_after_s=0.0)
+            store.backend.inject_crash(0)
+            sup.run_once()
+            assert sup.health[0].attempts == 1
+            sup.run_once()  # healthy + stable_after elapsed: episode over
+            assert sup.health[0].attempts == 0
+
+    def test_await_healthy_runs_rounds_inline(self):
+        with _store() as store:
+            sup = _supervisor(store)
+            store.backend.inject_crash(0)
+            store.backend.inject_crash(2)
+            assert sup.await_healthy(timeout=5.0)
+            assert all(store.shard_alive(s) for s in range(N_SHARDS))
+
+
+class TestCircuitBreaker:
+    def test_budget_exhaustion_trips_breaker(self):
+        with _store() as store:
+            sup = _supervisor(store, restart_budget=2)
+            store.backend.inject_crash(1)
+            store.backend.inject_reopen_failures(1, 10)
+            for _ in range(4):
+                sup.run_once()
+            assert sup.breaker_open(1)
+            assert sup.open_breakers() == [1]
+            assert sup.telemetry()["breaker_trips"] == 1
+            # Open breaker: no further reopen attempts are burned.
+            attempts = sup.health[1].attempts
+            sup.run_once()
+            assert sup.health[1].attempts == attempts
+
+    def test_reset_closes_breaker_and_heals(self):
+        with _store() as store:
+            sup = _supervisor(store, restart_budget=1)
+            store.backend.inject_crash(1)
+            store.backend.inject_reopen_failures(1, 1)
+            for _ in range(3):
+                sup.run_once()
+            assert sup.breaker_open(1)
+            sup.reset(1)
+            assert not sup.breaker_open(1)
+            assert store.shard_alive(1)
+            assert sup.healthy()
+
+
+class TestDegradedFailFast:
+    def test_default_raises_with_partial_results(self):
+        with _store("fail_fast") as store:
+            items = _items(24)
+            store.put_many(items)
+            store.backend.inject_crash(1)
+            with pytest.raises(ShardCrashedError) as excinfo:
+                store.get_many([k for k, _ in items])
+            exc = excinfo.value
+            assert exc.shard_ids == [1]
+            assert exc.partial_results is not None
+            assert exc.shard_status[1] == "crashed"
+            ok_shards = [s for s, st in exc.shard_status.items() if st == "ok"]
+            assert len(ok_shards) == N_SHARDS - 1
+
+    def test_open_breaker_raises_circuit_error(self):
+        with _store("fail_fast") as store:
+            sup = _supervisor(store, restart_budget=1)
+            store.backend.inject_crash(0)
+            store.backend.inject_reopen_failures(0, 5)
+            for _ in range(3):
+                sup.run_once()
+            assert sup.breaker_open(0)
+            with pytest.raises(ShardCircuitOpenError):
+                store.put_many(_items(12))
+            # ShardCircuitOpenError is an unavailability, catchable as such.
+            with pytest.raises(ShardUnavailableError):
+                store.get_many([k for k, _ in _items(12)])
+
+
+class TestDegradedPartial:
+    def test_put_many_partial_outcomes_under_dead_shard(self):
+        with _store("partial") as store:
+            items = _items(24)
+            report = store.put_many(items)
+            assert isinstance(report, BatchReport)
+            assert report.ok
+            assert report == [report[i] for i in range(len(items))]
+            store.backend.inject_crash(1)
+            report = store.put_many(_items(24, tag=b"w"))
+            assert not report.ok
+            dead = report.failed_indices
+            assert dead  # shard 1 owned some keys
+            for i in dead:
+                assert report.outcomes[i] == "crashed"
+                assert report[i] is None
+            for i in range(len(items)):
+                if i not in dead:
+                    assert report.outcomes[i] == "ok"
+                    assert report[i] is not None
+
+    def test_get_many_reads_survivors_and_reports_dead(self):
+        with _store("partial") as store:
+            items = _items(24)
+            store.put_many(items)
+            store.backend.inject_crash(2)
+            report = store.get_many([k for k, _ in items])
+            for (key, value), outcome, got in zip(
+                items, report.outcomes, report
+            ):
+                if store.shard_of(key) == 2:
+                    assert outcome == "crashed" and got is None
+                else:
+                    assert outcome == "ok" and got == value
+
+    def test_open_breaker_reads_as_misses(self):
+        with _store("partial") as store:
+            sup = _supervisor(store, restart_budget=1)
+            items = _items(24)
+            store.put_many(items)
+            store.backend.inject_crash(1)
+            store.backend.inject_reopen_failures(1, 5)
+            for _ in range(3):
+                sup.run_once()
+            assert sup.breaker_open(1)
+            report = store.get_many([k for k, _ in items])
+            for key, outcome, got in zip(
+                (k for k, _ in items), report.outcomes, report
+            ):
+                if store.shard_of(key) == 1:
+                    assert outcome == "breaker_open" and got is None
+                else:
+                    assert outcome == "ok"
+            # Point GET: answered as a miss without touching the shard.
+            dead_key = next(
+                k for k, _ in items if store.shard_of(k) == 1
+            )
+            assert store.get(dead_key) is None
+            # A write at an open breaker must raise, never silently drop.
+            with pytest.raises(ShardCircuitOpenError):
+                store.put(dead_key, b"nope")
+
+    def test_hung_shard_reports_hung_outcome(self):
+        with _store("partial") as store:
+            items = _items(24)
+            store.put_many(items)
+            store.backend.inject_hang(0)
+            report = store.get_many([k for k, _ in items])
+            hung = {
+                o for k, o in zip((k for k, _ in items), report.outcomes)
+                if store.shard_of(k) == 0
+            }
+            assert hung == {"hung"}
+            assert store.backend.kills[0] == 1  # deadline killed it
+
+
+class TestDegradedBlock:
+    def test_block_waits_for_supervised_heal(self):
+        with _store("block", block_timeout_s=10.0) as store:
+            sup = _supervisor(store)
+            items = _items(24)
+            store.put_many(items)
+            store.backend.inject_crash(1)
+            # No background thread: put_many itself drives supervisor
+            # rounds while blocked, heals shard 1, then completes fully.
+            report = store.put_many(items)
+            assert report.ok
+            assert store.shard_alive(1)
+            final = store.get_many([k for k, _ in items])
+            assert final.ok
+            assert list(final) == [v for _, v in items]
+
+    def test_block_times_out_with_residual_failure(self):
+        with _store("block", block_timeout_s=0.2) as store:
+            sup = _supervisor(store, restart_budget=1)
+            store.backend.inject_crash(1)
+            store.backend.inject_reopen_failures(1, 50)
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                store.put_many(_items(24))
+            assert 1 in excinfo.value.shard_ids
+            assert excinfo.value.partial_results is not None
+
+
+class TestCallManyPartialAttach:
+    """Satellite: the backend itself attaches partial results + status."""
+
+    def test_inprocess_call_many_attaches_partials(self):
+        with _store() as store:
+            items = _items(24)
+            store.put_many(items)
+            store.backend.inject_crash(0)
+            requests = [
+                (s, "len", (), None) for s in range(N_SHARDS)
+            ]
+            with pytest.raises(ShardCrashedError) as excinfo:
+                store.backend.call_many(requests)
+            exc = excinfo.value
+            assert len(exc.partial_results) == N_SHARDS
+            assert exc.partial_results[0] is None
+            assert all(
+                isinstance(r, int) for r in exc.partial_results[1:]
+            )
+            assert exc.shard_status == {0: "crashed", 1: "ok", 2: "ok"}
+
+    def test_all_hung_raises_hung_error(self):
+        with _store() as store:
+            store.backend.inject_hang(0)
+            store.backend.inject_hang(1)
+            store.backend.inject_hang(2)
+            with pytest.raises(ShardHungError):
+                store.backend.call_many(
+                    [(s, "len", (), None) for s in range(N_SHARDS)]
+                )
+
+
+class TestSupervisorTelemetry:
+    def test_facade_telemetry_carries_supervisor_rollup(self):
+        with _store() as store:
+            sup = _supervisor(store)
+            store.backend.inject_crash(2)
+            sup.run_once()
+            tel = store.telemetry()
+            assert tel["supervisor"]["restarts"] == 1
+            assert tel["supervisor"]["open_breakers"] == []
+            shard2 = tel["supervisor"]["shards"][2]
+            assert shard2["restarts"] == 1 and shard2["breaker"] == "closed"
