@@ -105,6 +105,13 @@ def check_chaos(result: dict) -> int:
         failures.append(f"{result['corrupt_keys']} torn/corrupt value(s)")
     if not result["fsck_ok"]:
         failures.append("post-drill fsck found errors")
+    if result["availability"] < 0.6:
+        # BENCH_chaos.json reports 0.7625; a supervision regression can
+        # tank availability without losing a single byte (breakers stuck
+        # open, slow reopens) — losing data is not the only way to fail.
+        failures.append(
+            f"availability {result['availability']:.4f} below the 0.6 floor"
+        )
     if result["restarts"] < 1:
         failures.append("no supervised restart happened — drill inert")
     if failures:

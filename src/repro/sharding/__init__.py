@@ -25,7 +25,11 @@ package models the same structure at the storage layer:
 - :class:`~repro.sharding.supervisor.ShardSupervisor` — the self-healing
   loop: heartbeat watchdog (hung workers killed), automatic reopen with
   exponential backoff under a restart budget, and per-shard circuit
-  breakers when the budget runs dry.
+  breakers when the budget runs dry;
+- :mod:`~repro.sharding.rebalance` — crash-safe online rebalancing:
+  journaled key migration (``rebalance.json`` intent log) draining moved
+  keys to their new owners in budgeted copy/verify/delete batches while
+  the facade dual-routes foreground traffic.
 """
 
 from repro.sharding.backends import (
@@ -35,7 +39,13 @@ from repro.sharding.backends import (
     ShardHungError,
     ShardUnavailableError,
 )
-from repro.sharding.ring import HashRing
+from repro.sharding.rebalance import (
+    RebalanceError,
+    RebalanceInProgressError,
+    RebalanceJournal,
+    Rebalancer,
+)
+from repro.sharding.ring import HashRing, MovedArc, RingDiff
 from repro.sharding.shard import Shard, ShardSpec
 from repro.sharding.store import BatchReport, ShardedKVStore
 from repro.sharding.supervisor import ShardCircuitOpenError, ShardSupervisor
@@ -44,7 +54,13 @@ __all__ = [
     "BatchReport",
     "HashRing",
     "InProcessBackend",
+    "MovedArc",
     "ProcessBackend",
+    "RebalanceError",
+    "RebalanceInProgressError",
+    "RebalanceJournal",
+    "Rebalancer",
+    "RingDiff",
     "Shard",
     "ShardCircuitOpenError",
     "ShardCrashedError",

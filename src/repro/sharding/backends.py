@@ -297,6 +297,11 @@ class InProcessBackend:
             shard_id
         ]
 
+    def worker_pid(self, shard_id: int) -> int | None:
+        """Interface parity with :class:`ProcessBackend`; in-process
+        shards have no worker of their own."""
+        return None
+
     def heartbeat_age(self, shard_id: int) -> float:
         """Seconds since the shard's last (simulated) heartbeat: 0 while
         healthy, growing from the :meth:`inject_hang` instant."""

@@ -350,6 +350,28 @@ class Shard:
     def _op_delete(self, key: bytes) -> bool:
         return self.store.delete(key)
 
+    def _op_copy_absent(
+        self, items: list[tuple[bytes, bytes]]
+    ) -> list[bool]:
+        """Rebalance copy target: insert each pair only if the key is
+        absent here.  A foreground write that already landed on this
+        shard (the key's *new* owner) must win over the stale source
+        copy, so presence — whatever the value — suppresses the insert.
+        Returns per-item whether the insert happened."""
+        inserted = []
+        for key, value in items:
+            if self.store.get(key) is None:
+                self.store.put(key, value)
+                inserted.append(True)
+            else:
+                inserted.append(False)
+        return inserted
+
+    def _op_delete_many(self, keys: list[bytes]) -> list[bool]:
+        """Rebalance delete-from-source: drop each key (idempotent —
+        replaying after a crash deletes nothing twice)."""
+        return [self.store.delete(key) for key in keys]
+
     def _op_len(self) -> int:
         return len(self.store)
 

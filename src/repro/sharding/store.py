@@ -41,6 +41,7 @@ and recovers shard by shard — in parallel under the process backend.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 
@@ -49,6 +50,12 @@ from repro.sharding.backends import (
     InProcessBackend,
     ProcessBackend,
     ShardUnavailableError,
+)
+from repro.sharding.rebalance import (
+    RebalanceError,
+    RebalanceInProgressError,
+    RebalanceJournal,
+    Rebalancer,
 )
 from repro.sharding.ring import HashRing
 from repro.sharding.shard import ShardSpec
@@ -253,6 +260,16 @@ class ShardedKVStore:
         #: Attached :class:`~repro.sharding.supervisor.ShardSupervisor`
         #: (degraded routing consults its breakers; ``None`` = none).
         self.supervisor = None
+        #: Active :class:`~repro.sharding.rebalance.Rebalancer` (``None``
+        #: outside a live rebalance).  While set, ``self.ring`` is already
+        #: the *new* ring (writes route there) and ``self._old_ring``
+        #: holds the previous routing for read fallback.
+        self.rebalancer = None
+        self._old_ring: HashRing | None = None
+        # Serialises foreground deletes against rebalancer move batches —
+        # a delete interleaving inside a key's copy window could have its
+        # tombstone overwritten by the stale source copy.
+        self._rebalance_lock = threading.Lock()
         self._closed = False
 
     def attach_supervisor(self, supervisor) -> None:
@@ -328,6 +345,7 @@ class ShardedKVStore:
         backend: str = "inprocess",
         ring_seed: int = 0,
         vnodes: int = 128,
+        weights=None,
         log_segments: int = 2,
         key_capacity: int = 32,
         scrubber: bool = False,
@@ -353,7 +371,10 @@ class ShardedKVStore:
         """
         root = Path(root)
         root.mkdir(parents=True, exist_ok=True)
-        ring = HashRing(n_shards, seed=ring_seed, vnodes=vnodes)
+        # A fresh store must not inherit a previous store's migration
+        # intent; creating over a reused directory discards any journal.
+        RebalanceJournal(root=root, old_ring={}, new_ring={}).remove()
+        ring = HashRing(n_shards, seed=ring_seed, vnodes=vnodes, weights=weights)
         specs = cls._build_specs(
             n_shards,
             segment_size=segment_size,
@@ -398,6 +419,7 @@ class ShardedKVStore:
         backend: str = "inprocess",
         ring_seed: int = 0,
         vnodes: int = 128,
+        weights=None,
         base_seed: int = 7,
         start_method: str | None = None,
         maintenance: bool = False,
@@ -409,7 +431,7 @@ class ShardedKVStore:
     ) -> "ShardedKVStore":
         """Create a volatile sharded store (no pool/catalog, no manifest) —
         the benchmark configuration."""
-        ring = HashRing(n_shards, seed=ring_seed, vnodes=vnodes)
+        ring = HashRing(n_shards, seed=ring_seed, vnodes=vnodes, weights=weights)
         specs = cls._build_specs(
             n_shards,
             segment_size=segment_size,
@@ -490,7 +512,7 @@ class ShardedKVStore:
                 f"{ring.n_shards}"
             )
         backend_name = backend or manifest.get("backend", "inprocess")
-        return cls(
+        store = cls(
             _make_backend(
                 specs, "open", backend_name, start_method, deadline_s,
                 op_deadlines,
@@ -502,6 +524,44 @@ class ShardedKVStore:
             degraded=degraded,
             block_timeout_s=block_timeout_s,
         )
+        store._resume_rebalance()
+        return store
+
+    def _resume_rebalance(self) -> None:
+        """Roll an unfinished ``rebalance.json`` forward on open.
+
+        ``flipped``/``done`` journals crashed after the point of no
+        return: finish the flip here (rewrite the manifest with the new
+        ring, drop the journal) — every moved key already sits on its new
+        owner, so no draining is needed.  ``planned``/``draining``
+        journals resume as a live rebalance: dual routing is reinstalled
+        and ``self.rebalancer`` is ready to ``drain_until_done`` +
+        ``finalize`` (re-copy is safe, delete is last, so resuming
+        mid-batch is idempotent)."""
+        journal = RebalanceJournal.load(self.root)
+        if journal is None:
+            return
+        new_ring = HashRing(**journal.new_ring)
+        if new_ring.n_shards != self.ring.n_shards:
+            raise ValueError(
+                f"rebalance journal expects {new_ring.n_shards} shards; "
+                f"the manifest has {self.ring.n_shards}"
+            )
+        if journal.state == "done":
+            journal.remove()
+            return
+        if journal.state == "flipped":
+            self.ring = new_ring
+            self._write_manifest()
+            journal.remove()
+            return
+        # planned/draining: a crash between the plan and the first drain
+        # batch is indistinguishable from one mid-drain; both roll forward
+        # into draining (writes may or may not have reached new owners —
+        # dual-routed reads cover either placement).
+        if journal.state == "planned":
+            journal.advance("draining")
+        self._install_rebalance(Rebalancer(self, journal))
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -524,6 +584,81 @@ class ShardedKVStore:
     def shard_of(self, key: bytes) -> int:
         """The shard that owns ``key`` (exposed for tests and tooling)."""
         return self.ring.shard_of(key)
+
+    # ------------------------------------------------------------ rebalancing
+
+    @property
+    def rebalance_active(self) -> bool:
+        """A rebalance journal is live: writes route by the new ring,
+        reads fall back to the old owner, deletes hit both."""
+        return self.rebalancer is not None and self._old_ring is not None
+
+    def begin_rebalance(
+        self,
+        *,
+        weights=None,
+        vnodes: int | None = None,
+        batch_size: int = 32,
+    ) -> Rebalancer:
+        """Plan a rebalance to a re-weighted ring and enter dual routing.
+
+        Writes the ``rebalance.json`` intent journal (atomically) next to
+        the manifest and flips the facade into dual routing; the returned
+        :class:`Rebalancer` is ready to ``drain`` /``drain_until_done``
+        and ``finalize``.  Operator workflow::
+
+            reb = store.begin_rebalance(weights=[2.0, 1.0, 1.0])  # plan
+            reb.drain_until_done()                                # drain
+            reb.finalize()                                        # flip
+
+        Only the ring's weights and vnodes may change — the shard count
+        is fixed (growing the fleet is a different operation: it needs new
+        media, not just new routing).  Durable stores only: the journal
+        is what makes a mid-migration crash recoverable."""
+        if self.root is None:
+            raise RebalanceError(
+                "volatile stores cannot rebalance (no directory to journal "
+                "the migration in)"
+            )
+        if self.rebalancer is not None:
+            raise RebalanceInProgressError(
+                "a rebalance is already in flight; finalize it first"
+            )
+        new_ring = HashRing(
+            self.ring.n_shards,
+            seed=self.ring.seed,
+            vnodes=self.ring.vnodes if vnodes is None else vnodes,
+            weights=weights,
+        )
+        if new_ring.describe() == self.ring.describe():
+            raise RebalanceError(
+                "new ring routes identically to the current one; nothing "
+                "to rebalance"
+            )
+        journal = RebalanceJournal(
+            root=self.root,
+            old_ring=self.ring.describe(),
+            new_ring=new_ring.describe(),
+        )
+        journal.write()  # state "planned": the intent is durable
+        rebalancer = Rebalancer(self, journal, batch_size=batch_size)
+        self._install_rebalance(rebalancer)
+        journal.advance("draining")
+        return rebalancer
+
+    def _install_rebalance(self, rebalancer: Rebalancer) -> None:
+        """Enter dual routing for ``rebalancer`` (fresh plan or resumed
+        journal): the new ring takes over ``self.ring`` — ``partition()``
+        and every write route by it — while the old ring stays as the
+        read-fallback."""
+        self._old_ring = rebalancer.old_ring
+        self.ring = rebalancer.new_ring
+        self.rebalancer = rebalancer
+
+    def _complete_rebalance(self) -> None:
+        """Drop dual routing (called by ``Rebalancer.finalize``)."""
+        self._old_ring = None
+        self.rebalancer = None
 
     def _breaker_open(self, shard_id: int) -> bool:
         return self.supervisor is not None and self.supervisor.breaker_open(
@@ -565,13 +700,43 @@ class ShardedKVStore:
             time.sleep(0.02)
 
     def put(self, key: bytes, value: bytes) -> int:
+        # During a rebalance writes go to the NEW owner only (self.ring is
+        # already the new ring) — the drain never copies a key backwards,
+        # so a new-owner write can never be shadowed by a stale source copy.
         return self._point_call(self.ring.shard_of(key), "put", (key, value))
 
     def get(self, key: bytes) -> bytes | None:
-        return self._point_call(self.ring.shard_of(key), "get", (key,))
+        """Point GET; during a live rebalance, new-owner-then-old-owner.
+
+        A miss at the new owner falls back to the previous owner (the key
+        may not have drained yet).  Under the ``partial`` policy a
+        breaker-open new owner is answered as a miss by ``_point_call``,
+        which the same fallback turns into a read from the old owner —
+        how moving keys stay readable while one endpoint is down."""
+        shard = self.ring.shard_of(key)
+        value = self._point_call(shard, "get", (key,))
+        if value is None and self.rebalance_active:
+            old_shard = self._old_ring.shard_of(key)
+            if old_shard != shard:
+                value = self._point_call(old_shard, "get", (key,))
+        return value
 
     def delete(self, key: bytes) -> bool:
-        return self._point_call(self.ring.shard_of(key), "delete", (key,))
+        """Point DELETE; during a live rebalance it must hit *both*
+        owners, atomically with respect to drain batches — otherwise a
+        key deleted at the new owner while its source copy is still in a
+        batch's copy window would be resurrected by the copy."""
+        if not self.rebalance_active:
+            return self._point_call(self.ring.shard_of(key), "delete", (key,))
+        shard = self.ring.shard_of(key)
+        old_shard = self._old_ring.shard_of(key)
+        with self._rebalance_lock:
+            deleted = self._point_call(shard, "delete", (key,))
+            if old_shard != shard:
+                deleted = (
+                    self._point_call(old_shard, "delete", (key,)) or deleted
+                )
+        return deleted
 
     def _fan_out(
         self, op: str, groups: dict[int, list[int]], payload_of, n_items: int
@@ -671,14 +836,47 @@ class ShardedKVStore:
 
     def get_many(self, keys: list[bytes]) -> list[bytes | None]:
         groups = self.ring.partition(keys)
-        return self._fan_out(
+        report = self._fan_out(
             "get_many",
             groups,
             lambda s: [keys[i] for i in groups[s]],
             len(keys),
         )
+        if not self.rebalance_active:
+            return report
+        # Old-owner fallback for misses whose routing changed: one more
+        # fan-out over just those keys, partitioned by the OLD ring.  A
+        # fallback hit overrides the primary miss; a fallback failure
+        # (shard down under ``partial``) must not mask a primary "ok" —
+        # the worse outcome tag wins only where the primary also failed.
+        pending = [
+            i
+            for i, v in enumerate(report)
+            if v is None
+            and self._old_ring.shard_of(keys[i]) != self.ring.shard_of(keys[i])
+        ]
+        if not pending:
+            return report
+        sub_keys = [keys[i] for i in pending]
+        sub_groups = self._old_ring.partition(sub_keys)
+        fallback = self._fan_out(
+            "get_many",
+            sub_groups,
+            lambda s: [sub_keys[j] for j in sub_groups[s]],
+            len(sub_keys),
+        )
+        for j, i in enumerate(pending):
+            if fallback[j] is not None:
+                report[i] = fallback[j]
+                report.outcomes[i] = "ok"
+            elif report.outcomes[i] == "ok" and fallback.outcomes[j] != "ok":
+                report.outcomes[i] = fallback.outcomes[j]
+        return report
 
     def __len__(self) -> int:
+        if self.rebalance_active:
+            # Mid-drain a key can sit on both owners; count distinct keys.
+            return len(self.keys())
         return sum(
             self.backend.call_many(
                 [(s, "len", (), None) for s in range(self.n_shards)]
@@ -687,13 +885,16 @@ class ShardedKVStore:
 
     def keys(self) -> list[bytes]:
         """All keys across shards, sorted (each shard yields its own in
-        order; the facade merges)."""
+        order; the facade merges).  During a rebalance a key may appear
+        on both its old and new owner mid-batch; the merge dedupes."""
         per_shard = self.backend.call_many(
             [(s, "keys", (), None) for s in range(self.n_shards)]
         )
         out: list[bytes] = []
         for ks in per_shard:
             out.extend(ks)
+        if self.rebalance_active:
+            return sorted(set(out))
         out.sort()
         return out
 

@@ -187,6 +187,26 @@ class ShardSupervisor(MaintenanceWorker):
                 return False
             time.sleep(min(self.interval_s, 0.05))
 
+    def await_shards(self, shard_ids, timeout: float = 30.0) -> bool:
+        """Block (polling, supervision rounds inline) until every shard
+        in ``shard_ids`` is alive with a closed breaker, or ``timeout``.
+        The rebalancer's pause/resume hook: a drain blocked on a downed
+        source or target waits on exactly those shards, not fleet-wide
+        health."""
+        wanted = sorted(set(shard_ids))
+        deadline = time.monotonic() + timeout
+        while True:
+            self.run_once()
+            if all(
+                self.health[s].breaker == "closed"
+                and self.backend.shard_alive(s)
+                for s in wanted
+            ):
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(min(self.interval_s, 0.05))
+
     def telemetry(self) -> dict:
         recoveries = [
             t for h in self.health for t in h.recovery_times_s

@@ -322,3 +322,449 @@ def _kill_quietly(pid: int) -> None:
         os.kill(pid, signal.SIGKILL)
     except (ProcessLookupError, PermissionError):
         pass
+
+
+# --------------------------------------------------------------------------
+# Rebalance fault coverage
+# --------------------------------------------------------------------------
+
+#: Coordinator-side fault sites of the rebalance protocol (fired by the
+#: :class:`~repro.sharding.rebalance.Rebalancer` in the facade's process).
+REBALANCE_CRASH_SITES = (
+    "rebalance.copy",
+    "rebalance.delete",
+    "rebalance.flip",
+)
+
+
+@dataclass
+class RebalanceSweepCase:
+    """One crash point: ``site`` at its ``k``-th firing."""
+
+    site: str
+    k: int
+    crashed: bool = False
+    #: Journal state observed at reopen ("resumed" paths) or ``None``
+    #: when the crash landed after the journal was already retired.
+    resumed_from: str | None = None
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+@dataclass
+class RebalanceSweepReport:
+    """Findings of one :func:`run_rebalance_crash_sweep`."""
+
+    site_firings: dict = field(default_factory=dict)
+    cases: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.cases) and all(c.ok for c in self.cases)
+
+    def summary(self) -> dict:
+        return {
+            "site_firings": dict(self.site_firings),
+            "cases": len(self.cases),
+            "failed": [
+                (c.site, c.k, c.errors) for c in self.cases if not c.ok
+            ],
+            "ok": self.ok,
+        }
+
+
+def _verify_rebalanced(store, oracle, case_errors) -> None:
+    """Every acked key readable with its exact value, on exactly its ring
+    owner — the exactly-once contract after recovery."""
+    for key, value in oracle.items():
+        owner = store.shard_of(key)
+        holders = []
+        for shard_id in range(store.n_shards):
+            got = store.backend.call(shard_id, "get", (key,))
+            if got is not None:
+                holders.append(shard_id)
+                if got != value:
+                    case_errors.append(
+                        f"key {key!r} on shard {shard_id}: wrong value"
+                    )
+        if store.rebalance_active:
+            continue  # placement asserted after the resumed drain finishes
+        if holders != [owner]:
+            case_errors.append(
+                f"key {key!r} held by shards {holders}, owner is {owner}"
+            )
+
+
+def run_rebalance_crash_sweep(
+    root: str | Path | None = None,
+    *,
+    n_shards: int = 3,
+    n_keys: int = 48,
+    seed: int = 0,
+    weights: tuple = (2.0, 1.0, 0.5),
+    batch_size: int = 8,
+    segment_size: int = 64,
+    n_segments_per_shard: int = 256,
+    log_segments: int = 4,
+    key_capacity: int = 32,
+    sites: tuple = REBALANCE_CRASH_SITES,
+    config: E2NVMConfig | None = None,
+) -> RebalanceSweepReport:
+    """Crash the rebalance *coordinator* at every firing of every fault
+    site, then prove ``open()`` recovers.
+
+    The run is deterministic: a baseline pass (unarmed injector — hits
+    are counted anyway) fixes how many times each site fires, then one
+    fresh store per ``(site, k)`` is driven into a :class:`CrashError` at
+    exactly the ``k``-th firing.  The shards themselves did not crash —
+    only the coordinator died mid-protocol — so their media survives
+    (``close()`` snapshots them, the in-process analogue of worker
+    processes outliving the facade); ``open()`` must then resume the
+    drain or roll the flip forward, after which every preloaded key is
+    readable with its exact value on exactly its ring owner, the journal
+    is gone, and cross-shard fsck is clean.  Worker-side crashes are the
+    storm drill's job (:func:`run_rebalance_storm`).
+    """
+    from repro.sharding.rebalance import RebalanceJournal
+    from repro.testing.faults import CrashError, FaultInjector
+    from repro.tools.fsck import fsck_sharded
+
+    rng = random.Random(seed)
+    owns_root = root is None
+    root = Path(root) if root is not None else Path(tempfile.mkdtemp())
+    report = RebalanceSweepReport()
+    oracle = {
+        f"key-{i:04d}".encode(): f"value-{i}-{rng.randrange(1 << 20)}".encode()
+        for i in range(n_keys)
+    }
+
+    def build(case_root):
+        store = ShardedKVStore.create(
+            case_root,
+            n_shards,
+            segment_size=segment_size,
+            n_segments_per_shard=n_segments_per_shard,
+            config=config if config is not None else fast_test_config(),
+            log_segments=log_segments,
+            key_capacity=key_capacity,
+            base_seed=seed + 7,
+        )
+        store.put_many(list(oracle.items()))
+        return store
+
+    def drive(store, faults):
+        rebalancer = store.begin_rebalance(
+            weights=weights, batch_size=batch_size
+        )
+        rebalancer.faults = faults
+        rebalancer.drain_until_done(timeout_s=60.0)
+        rebalancer.finalize()
+
+    try:
+        # Baseline: same seed, same keys, same batches -> same firing
+        # schedule in every armed run below.
+        baseline_root = root / "baseline"
+        faults = FaultInjector()
+        store = build(baseline_root)
+        try:
+            drive(store, faults)
+        finally:
+            store.close()
+        report.site_firings = {s: faults.hits(s) for s in sites}
+
+        for site in sites:
+            for k in range(report.site_firings[site]):
+                case = RebalanceSweepCase(site=site, k=k)
+                report.cases.append(case)
+                case_root = root / f"{site.replace('.', '-')}-{k}"
+                faults = FaultInjector()
+                faults.arm(site, error=CrashError, after=k)
+                store = build(case_root)
+                try:
+                    drive(store, faults)
+                except CrashError:
+                    case.crashed = True
+                finally:
+                    store.close()
+                if not case.crashed:
+                    case.errors.append(
+                        f"site never fired a {k}-th time; baseline drift?"
+                    )
+                    continue
+                journal = RebalanceJournal.load(case_root)
+                case.resumed_from = (
+                    journal.state if journal is not None else None
+                )
+                store = ShardedKVStore.open(case_root)
+                try:
+                    _verify_rebalanced(store, oracle, case.errors)
+                    if store.rebalance_active:
+                        store.rebalancer.drain_until_done(timeout_s=60.0)
+                        store.rebalancer.finalize()
+                    if store.ring.describe().get("weights") != list(weights):
+                        case.errors.append(
+                            "recovered ring does not carry the new weights"
+                        )
+                    _verify_rebalanced(store, oracle, case.errors)
+                    if RebalanceJournal.load(case_root) is not None:
+                        case.errors.append("journal survived finalize")
+                finally:
+                    store.close()
+                fsck_report = fsck_sharded(case_root)
+                if not fsck_report.ok:
+                    case.errors.extend(
+                        fsck_report.errors
+                        + [e for r in fsck_report.shards for e in r.errors]
+                    )
+    finally:
+        if owns_root and report.ok:
+            import shutil
+
+            shutil.rmtree(root, ignore_errors=True)
+    return report
+
+
+@dataclass
+class RebalanceStormReport:
+    """Findings of one :func:`run_rebalance_storm`."""
+
+    rounds: int
+    kills: int = 0
+    acked_items: int = 0
+    total_items: int = 0
+    lost_writes: list = field(default_factory=list)
+    corrupt_keys: list = field(default_factory=list)
+    orphan_keys: list = field(default_factory=list)
+    duplicate_keys: list = field(default_factory=list)
+    all_healthy: bool = False
+    finalized: bool = False
+    fsck_ok: bool = False
+    fsck_errors: list = field(default_factory=list)
+    keys_copied: int = 0
+    keys_deleted: int = 0
+    pauses: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        return self.acked_items / self.total_items if self.total_items else 1.0
+
+    @property
+    def ok(self) -> bool:
+        """The drill's contract: the rebalance finished despite both
+        endpoints being SIGKILLed mid-drain, the fleet converged healthy,
+        and no acked write was lost, duplicated, or orphaned."""
+        return (
+            self.all_healthy
+            and self.finalized
+            and not self.lost_writes
+            and not self.corrupt_keys
+            and not self.orphan_keys
+            and not self.duplicate_keys
+            and self.fsck_ok
+        )
+
+    def summary(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "kills": self.kills,
+            "availability": self.availability,
+            "acked_items": self.acked_items,
+            "total_items": self.total_items,
+            "lost_writes": len(self.lost_writes),
+            "corrupt_keys": len(self.corrupt_keys),
+            "orphan_keys": len(self.orphan_keys),
+            "duplicate_keys": len(self.duplicate_keys),
+            "all_healthy": self.all_healthy,
+            "finalized": self.finalized,
+            "fsck_ok": self.fsck_ok,
+            "keys_copied": self.keys_copied,
+            "keys_deleted": self.keys_deleted,
+            "pauses": self.pauses,
+            "duration_s": self.duration_s,
+            "ok": self.ok,
+        }
+
+
+def run_rebalance_storm(
+    root: str | Path | None = None,
+    *,
+    n_shards: int = 3,
+    rounds: int = 4,
+    n_keys: int = 48,
+    batch_size: int = 16,
+    drain_budget: int = 8,
+    seed: int = 0,
+    weights: tuple = (2.0, 1.0, 0.5),
+    segment_size: int = 64,
+    n_segments_per_shard: int = 256,
+    log_segments: int = 4,
+    key_capacity: int = 32,
+    config: E2NVMConfig | None = None,
+    heartbeat_timeout_s: float = 0.5,
+    restart_budget: int = 8,
+    heal_timeout_s: float = 60.0,
+) -> RebalanceStormReport:
+    """SIGKILL the *source and target* worker processes mid-drain, while
+    foreground writes keep flowing, and prove the migration still lands.
+
+    One round: ask the rebalancer which ``(source, target)`` pair it will
+    move next, start timers that SIGKILL both workers a few milliseconds
+    out, keep draining through the kills (the drain pauses on the dead
+    shards and requeues their batches), push a foreground ``put_many``
+    under the ``partial`` policy (acked items must survive, full stop),
+    and let the supervisor heal the fleet.  After the last round the
+    drain runs to completion, the rebalance finalizes, and the report
+    checks: every acked value reads back, no key is lost, duplicated
+    across shards, or orphaned (present but never written), and
+    cross-shard fsck on the closed store is clean.
+    """
+    from repro.tools.fsck import fsck_sharded
+
+    rng = random.Random(seed)
+    owns_root = root is None
+    root = Path(root) if root is not None else Path(tempfile.mkdtemp())
+    report = RebalanceStormReport(rounds=rounds)
+    t_start = time.monotonic()
+
+    store = ShardedKVStore.create(
+        root,
+        n_shards,
+        segment_size=segment_size,
+        n_segments_per_shard=n_segments_per_shard,
+        config=config if config is not None else fast_test_config(),
+        backend="process",
+        log_segments=log_segments,
+        key_capacity=key_capacity,
+        degraded="partial",
+        deadline_s=30.0,
+        base_seed=seed + 7,
+    )
+    supervisor = ShardSupervisor(
+        store,
+        interval_s=0.05,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        restart_budget=restart_budget,
+        stable_after_s=0.5,
+        auto_start=True,
+    )
+
+    acceptable: dict[bytes, set] = {}
+    try:
+        preload = [
+            (
+                f"key-{i:04d}".encode(),
+                f"value-{i}-{rng.randrange(1 << 20)}".encode(),
+            )
+            for i in range(n_keys)
+        ]
+        batch = store.put_many(preload)
+        report.total_items += len(preload)
+        for (key, value), outcome in zip(preload, batch.outcomes):
+            if outcome == "ok":
+                report.acked_items += 1
+                acceptable[key] = {value}
+            else:
+                acceptable.setdefault(key, {None}).add(value)
+
+        rebalancer = store.begin_rebalance(
+            weights=weights, batch_size=batch_size
+        )
+        rebalancer.drain(0)  # populate the queue so next_pair() can aim
+
+        for round_no in range(rounds):
+            timers = []
+            pair = rebalancer.next_pair()
+            if pair is not None:
+                victims = {s for s in pair if store.shard_alive(s)}
+                for shard_id in victims:
+                    pid = store.backend.worker_pid(shard_id)
+                    if pid is None:
+                        continue
+                    timer = threading.Timer(
+                        rng.uniform(0.002, 0.02),
+                        lambda p=pid: _kill_quietly(p),
+                    )
+                    timer.start()
+                    timers.append(timer)
+                    report.kills += 1
+            try:
+                # Keep draining through the kills: batches that land on a
+                # dead endpoint pause and requeue, the rest keep moving.
+                for _ in range(4):
+                    rebalancer.drain(drain_budget)
+                    time.sleep(0.01)
+            finally:
+                for timer in timers:
+                    timer.cancel()
+
+            key_nos = rng.sample(range(n_keys), min(12, n_keys))
+            items = [
+                (
+                    f"key-{i:04d}".encode(),
+                    f"r{round_no}-{i}-{rng.randrange(1 << 20)}".encode(),
+                )
+                for i in key_nos
+            ]
+            try:
+                batch = store.put_many(items)
+                outcomes = batch.outcomes
+            except ShardUnavailableError:
+                outcomes = ["error"] * len(items)
+            report.total_items += len(items)
+            for (key, value), outcome in zip(items, outcomes):
+                if outcome == "ok":
+                    report.acked_items += 1
+                    acceptable[key] = {value}
+                else:
+                    acceptable.setdefault(key, {None}).add(value)
+
+            if not supervisor.await_healthy(timeout=heal_timeout_s):
+                break
+
+        report.all_healthy = supervisor.await_healthy(timeout=heal_timeout_s)
+        rebalancer.drain_until_done(timeout_s=heal_timeout_s)
+        rebalancer.finalize()
+        report.finalized = not store.rebalance_active
+        report.keys_copied = rebalancer.keys_copied
+        report.keys_deleted = rebalancer.keys_deleted
+        report.pauses = rebalancer.pauses
+
+        keys = sorted(acceptable)
+        final = store.get_many(keys)
+        if not final.ok:
+            report.all_healthy = False
+        for key, value in zip(keys, final):
+            allowed = acceptable[key]
+            if value not in allowed:
+                if len(allowed) == 1:
+                    report.lost_writes.append(
+                        (key, next(iter(allowed)), value)
+                    )
+                else:
+                    report.corrupt_keys.append((key, value))
+        live = store.keys()
+        report.duplicate_keys = sorted(
+            key for key in set(live) if live.count(key) > 1
+        )
+        report.orphan_keys = sorted(set(live) - set(acceptable))
+
+        store.close()
+        fsck_report = fsck_sharded(root)
+        report.fsck_ok = fsck_report.ok
+        if not fsck_report.ok:
+            report.fsck_errors = fsck_report.errors + [
+                e for r in fsck_report.shards for e in r.errors
+            ]
+        report.duration_s = time.monotonic() - t_start
+    finally:
+        supervisor.stop()
+        store.close()
+        if owns_root and report.ok:
+            import shutil
+
+            shutil.rmtree(root, ignore_errors=True)
+    return report

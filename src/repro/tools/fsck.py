@@ -27,10 +27,12 @@ Exit status is 0 when no errors were found (warnings alone stay 0) and
 from __future__ import annotations
 
 import argparse
+import json
 import struct
 import sys
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.nvm.controller import MemoryController
 from repro.nvm.device import NVMDevice
@@ -53,6 +55,9 @@ class FsckReport:
     values_ok: int = 0
     #: Intact undo records of a transaction left active by a crash.
     pending_undo_records: int = 0
+    #: Distinct live catalog keys (the cross-shard checker routes these
+    #: through the manifest ring).
+    live_keys: list[bytes] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -167,6 +172,7 @@ def _scan_catalog(controller, pool, catalog, pending, report) -> None:
                 report.error(message)
         else:
             seen_keys[entry.key] = (slot, record_pending)
+    report.live_keys = sorted(seen_keys)
 
 
 def _scan_ecp(device, report: FsckReport) -> None:
@@ -267,23 +273,170 @@ def fsck(
     return report
 
 
+@dataclass
+class ShardedFsckReport:
+    """Findings of one :func:`fsck_sharded` run: per-shard reports plus
+    the cross-shard routing checks."""
+
+    root: str
+    shards: list[FsckReport] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    #: Live keys that ring-route to the shard actually holding them.
+    placed_ok: int = 0
+    #: Journal state when a rebalance was in flight (else ``None``).
+    rebalance_state: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and all(r.ok for r in self.shards)
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def warning(self, message: str) -> None:
+        self.warnings.append(message)
+
+
+def fsck_sharded(root) -> ShardedFsckReport:
+    """Cross-shard consistency check of a sharded store directory.
+
+    Runs :func:`fsck` on every shard snapshot named by the manifest (with
+    that shard's own geometry — no guessed parameters), then checks the
+    *placement* invariant rebalancing must preserve: every live key on
+    shard ``s`` ring-routes to ``s`` under the manifest ring, and no key
+    is live on two shards.
+
+    A ``rebalance.json`` journal in ``planned``/``draining`` state relaxes
+    exactly the states the drain protocol passes through: a key on its
+    *old* owner that now routes elsewhere is mid-migration (warning, not
+    error), and a key live on precisely its {old owner, new owner} pair is
+    inside a copy window whose delete has not landed yet (warning).  Any
+    other misplacement or duplication is an error either way.  The
+    authoritative ring is the journal's *new* ring when one is active —
+    writes already route by it — and the manifest ring otherwise.
+    """
+    # Local import: the tool must stay importable for single snapshots
+    # even if the sharding package grows heavier dependencies.
+    from repro.sharding.rebalance import RebalanceJournal
+    from repro.sharding.ring import HashRing
+
+    root = Path(root)
+    report = ShardedFsckReport(root=str(root))
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        report.error(f"{root} has no manifest.json (not a sharded store?)")
+        return report
+    manifest = json.loads(manifest_path.read_text())
+    ring = HashRing(**manifest["ring"])
+    old_ring = None
+    journal = RebalanceJournal.load(root)
+    if journal is not None:
+        report.rebalance_state = journal.state
+        if journal.state in ("planned", "draining"):
+            ring = HashRing(**journal.new_ring)
+            old_ring = HashRing(**journal.old_ring)
+        elif journal.state == "flipped":
+            # Past the point of no return: open() rewrites the manifest
+            # with the journal's new ring, so judge placement by it.
+            ring = HashRing(**journal.new_ring)
+
+    holders: dict[bytes, list[int]] = {}
+    for entry in manifest["shards"]:
+        shard_id = entry["shard_id"]
+        snapshot = entry.get("path")
+        if not snapshot or not Path(snapshot).exists():
+            report.warning(
+                f"shard {shard_id}: no snapshot on disk (crashed before "
+                "save; recovery covers it on open) — placement unchecked"
+            )
+            continue
+        shard_report = fsck(
+            snapshot,
+            log_segments=entry["log_segments"],
+            key_capacity=entry["key_capacity"],
+        )
+        report.shards.append(shard_report)
+        for key in shard_report.live_keys:
+            holders.setdefault(key, []).append(shard_id)
+            owner = ring.shard_of(key)
+            if owner == shard_id:
+                report.placed_ok += 1
+            elif old_ring is not None and old_ring.shard_of(key) == shard_id:
+                report.warning(
+                    f"key {key!r} on shard {shard_id} now routes to shard "
+                    f"{owner} — mid-migration (rebalance "
+                    f"{report.rebalance_state})"
+                )
+            else:
+                report.error(
+                    f"misplaced key {key!r}: live on shard {shard_id} but "
+                    f"ring-routes to shard {owner}"
+                )
+    for key, shards in sorted(holders.items()):
+        if len(shards) < 2:
+            continue
+        owner = ring.shard_of(key)
+        pair = {owner} | (
+            {old_ring.shard_of(key)} if old_ring is not None else set()
+        )
+        if old_ring is not None and set(shards) == pair and len(pair) == 2:
+            report.warning(
+                f"key {key!r} live on shards {shards} — inside a "
+                "copy window (rebalance draining; delete-from-source "
+                "pending)"
+            )
+        else:
+            report.error(f"key {key!r} live on multiple shards {shards}")
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.fsck",
         description="Offline consistency check of a KV-store snapshot "
-        "(an NVMDevice.save .npz file).",
+        "(an NVMDevice.save .npz file) or a sharded store directory "
+        "(per-shard checks plus cross-shard key placement).",
     )
-    parser.add_argument("pool", help="path to the device snapshot (.npz)")
+    parser.add_argument(
+        "pool",
+        help="path to a device snapshot (.npz) or a sharded store directory",
+    )
     parser.add_argument(
         "--log-segments", type=int, default=2,
-        help="undo-log segments the store was created with (default: 2)",
+        help="undo-log segments the store was created with (default: 2; "
+        "ignored for directories — the manifest records each shard's)",
     )
     parser.add_argument(
         "--key-capacity", type=int, default=DEFAULT_KEY_CAPACITY,
         help="catalog key capacity the store was created with "
-        f"(default: {DEFAULT_KEY_CAPACITY})",
+        f"(default: {DEFAULT_KEY_CAPACITY}; ignored for directories)",
     )
     args = parser.parse_args(argv)
+    if Path(args.pool).is_dir():
+        report = fsck_sharded(args.pool)
+        print(f"fsck {report.root} (sharded)")
+        if report.rebalance_state is not None:
+            print(f"  rebalance in flight: {report.rebalance_state}")
+        values_ok = sum(r.values_ok for r in report.shards)
+        print(
+            f"  {len(report.shards)} shard(s): {values_ok} live value(s) "
+            f"verified, {report.placed_ok} correctly placed"
+        )
+        for shard_report in report.shards:
+            for message in shard_report.warnings:
+                print(f"  WARNING [{shard_report.path}]: {message}")
+            for message in shard_report.errors:
+                print(f"  ERROR [{shard_report.path}]: {message}")
+        for message in report.warnings:
+            print(f"  WARNING: {message}")
+        for message in report.errors:
+            print(f"  ERROR: {message}")
+        n_errors = len(report.errors) + sum(
+            len(r.errors) for r in report.shards
+        )
+        print(f"  {'clean' if report.ok else f'{n_errors} error(s)'}")
+        return 0 if report.ok else 1
     report = fsck(
         args.pool,
         log_segments=args.log_segments,

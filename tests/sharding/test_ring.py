@@ -99,3 +99,115 @@ class TestConstruction:
         b = HashRing(4, seed=1)
         sample = [b"s-%d" % i for i in range(500)]
         assert any(a.shard_of(k) != b.shard_of(k) for k in sample)
+
+
+class TestWeights:
+    def test_weight_skews_key_share(self):
+        rng = np.random.default_rng(3)
+        sample = [rng.bytes(16) for _ in range(8000)]
+        ring = HashRing(3, seed=5, vnodes=64, weights=(2.0, 1.0, 1.0))
+        counts = np.zeros(3, dtype=np.int64)
+        for key in sample:
+            counts[ring.shard_of(key)] += 1
+        share = counts / counts.sum()
+        # Shard 0 holds twice the weight: clearly above fair share, and
+        # above both unit-weight shards.
+        assert share[0] > 0.4, share
+        assert share[0] > share[1] and share[0] > share[2], share
+
+    def test_uniform_weights_identical_to_unweighted(self):
+        plain = HashRing(4, seed=9, vnodes=32)
+        weighted = HashRing(4, seed=9, vnodes=32, weights=(1.0, 1.0, 1.0, 1.0))
+        assert plain._hashes == weighted._hashes
+        assert plain._owners == weighted._owners
+        # ...and the manifest shape of an unweighted ring is unchanged.
+        assert plain.describe() == {"n_shards": 4, "seed": 9, "vnodes": 32}
+        assert weighted.describe() == plain.describe()
+
+    def test_describe_round_trip_with_weights(self):
+        ring = HashRing(3, seed=11, vnodes=48, weights=(1.5, 1.0, 0.25))
+        assert ring.describe()["weights"] == [1.5, 1.0, 0.25]
+        twin = HashRing(**ring.describe())
+        for i in range(300):
+            key = b"wrt-%d" % i
+            assert ring.shard_of(key) == twin.shard_of(key)
+
+    def test_growing_a_weight_only_adds_points(self):
+        base = HashRing(3, seed=2, vnodes=32)
+        grown = base.with_weights((2.0, 1.0, 1.0))
+        assert set(base._hashes) <= set(grown._hashes)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(2, weights=(1.0,))
+        with pytest.raises(ValueError):
+            HashRing(2, weights=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            HashRing(2, weights=(1.0, -2.0))
+        with pytest.raises(ValueError):
+            HashRing(2, weights=(1.0, float("inf")))
+
+
+class TestDiff:
+    def test_diff_requires_same_seed(self):
+        with pytest.raises(ValueError):
+            HashRing.diff(HashRing(2, seed=0), HashRing(2, seed=1))
+
+    def test_identical_rings_empty_diff(self):
+        a = HashRing(4, seed=3, vnodes=32)
+        diff = HashRing.diff(a, HashRing(4, seed=3, vnodes=32))
+        assert not diff
+        assert diff.moved_fraction == 0.0
+
+    def test_covers_matches_owner_change_exactly(self):
+        old = HashRing(4, seed=7, vnodes=32)
+        new = old.with_weights((2.0, 1.0, 0.5, 1.0))
+        diff = HashRing.diff(old, new)
+        rng = np.random.default_rng(11)
+        for _ in range(3000):
+            key = rng.bytes(12)
+            moved = old.shard_of(key) != new.shard_of(key)
+            assert diff.covers(key) == moved, key
+        # Arc metadata agrees with the rings on both endpoints' owners.
+        for arc in diff.arcs:
+            assert old._owner_at(arc.hi) == arc.source
+            assert new._owner_at(arc.hi) == arc.target
+
+    @given(
+        seed=st.integers(0, 2**32),
+        deltas=st.lists(
+            st.floats(-0.4, 0.4, allow_nan=False), min_size=3, max_size=3
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_perturbation_diff_is_exact(self, seed, deltas):
+        old = HashRing(3, seed=seed, vnodes=24)
+        new = old.with_weights(tuple(1.0 + d for d in deltas))
+        diff = HashRing.diff(old, new)
+        for i in range(400):
+            key = b"hp-%d" % i
+            moved = old.shard_of(key) != new.shard_of(key)
+            assert diff.covers(key) == moved
+
+    @given(seed=st.integers(0, 2**32), eps=st.floats(0.05, 0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_moved_fraction_shrinks_with_perturbation(self, seed, eps):
+        """A smaller weight change moves no more of the hash space: vnode
+        counts round, so shrinking the perturbation can only remove ring
+        points from the delta."""
+        old = HashRing(3, seed=seed, vnodes=24)
+        big = HashRing.diff(old, old.with_weights((1.0 + eps, 1.0, 1.0)))
+        small = HashRing.diff(
+            old, old.with_weights((1.0 + eps / 2, 1.0, 1.0))
+        )
+        assert small.moved_fraction <= big.moved_fraction
+
+    def test_wrap_arc_covers_the_ring_top(self):
+        from repro.sharding import MovedArc
+
+        arc = MovedArc(lo=2**64 - 10, hi=10, source=0, target=1)
+        assert arc.wraps
+        assert arc.span == 20
+        assert arc.covers_hash(2**64 - 5)
+        assert arc.covers_hash(5)
+        assert not arc.covers_hash(2**63)
